@@ -1,0 +1,41 @@
+//! Criterion benches for the ablation studies (design-choice what-ifs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use triarch_core::ablations;
+use triarch_kernels::corner_turn::CornerTurnWorkload;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    let ct = CornerTurnWorkload::with_dims(512, 512, 3).expect("workload builds");
+    group.bench_function("ppc_blocked_vs_naive_corner_turn", |b| {
+        b.iter(|| black_box(ablations::ppc_blocked_corner_turn(&ct, 8).expect("runs")))
+    });
+
+    group.bench_function("dwell_sweep", |b| {
+        b.iter(|| black_box(ablations::dwell_sweep(256, 4, &[1, 2, 4, 8], 7).expect("runs")))
+    });
+
+    let workloads = triarch_bench::small_workloads();
+    group.bench_function("render_all_small", |b| {
+        b.iter(|| black_box(ablations::render_all(&workloads).expect("runs")))
+    });
+
+    // The Section 2.3 extension: 16-tile vs single-tile matmul on Raw.
+    let mm = triarch_kernels::matmul::MatmulWorkload::new(96, 7).expect("workload builds");
+    group.bench_function("raw_matmul_16_tiles", |b| {
+        b.iter(|| {
+            black_box(
+                triarch_raw::programs::matmul::run(&triarch_raw::RawConfig::paper(), &mm)
+                    .expect("runs")
+                    .cycles,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches regenerating Figures 8 and 9 (speedups over the
+//! AltiVec baseline in cycles and in time).
+//!
+//! The measured quantity is the full pipeline on the reduced workload set
+//! (paper-sized Table 3 inputs are exercised per-cell in `tables.rs` and
+//! end-to-end by the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use triarch_core::experiments;
+
+fn bench_figures(c: &mut Criterion) {
+    let workloads = triarch_bench::small_workloads();
+    let table3 = experiments::table3(&workloads).expect("table3 runs");
+
+    c.bench_function("figure8_speedup_cycles", |b| {
+        b.iter(|| black_box(experiments::figure8(&table3).render()))
+    });
+    c.bench_function("figure9_speedup_time", |b| {
+        b.iter(|| black_box(experiments::figure9(&table3).render()))
+    });
+
+    let mut group = c.benchmark_group("figures_end_to_end");
+    group.sample_size(10);
+    group.bench_function("table3_small_plus_figures", |b| {
+        b.iter(|| {
+            let t3 = experiments::table3(&workloads).expect("table3 runs");
+            black_box((experiments::figure8(&t3).render(), experiments::figure9(&t3).render()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches of the reference kernels and FFT substrate (host
+//! throughput of the golden implementations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use triarch_fft::{dft_naive, fft_radix2, fft_radix4, Cf32};
+use triarch_kernels::corner_turn::CornerTurnWorkload;
+
+fn bench_ffts(c: &mut Criterion) {
+    let signal: Vec<Cf32> =
+        (0..128).map(|j| Cf32::new((j as f32 * 0.3).sin(), (j as f32 * 0.7).cos())).collect();
+
+    c.bench_function("fft128_radix2", |b| {
+        b.iter(|| {
+            let mut d = signal.clone();
+            fft_radix2(&mut d);
+            black_box(d)
+        })
+    });
+    c.bench_function("fft128_mixed_radix4", |b| {
+        b.iter(|| {
+            let mut d = signal.clone();
+            fft_radix4(&mut d);
+            black_box(d)
+        })
+    });
+    c.bench_function("dft128_naive_reference", |b| b.iter(|| black_box(dft_naive(&signal))));
+}
+
+fn bench_reference_kernels(c: &mut Criterion) {
+    let ct = CornerTurnWorkload::with_dims(512, 512, 1).expect("workload builds");
+    c.bench_function("corner_turn_reference_512", |b| {
+        b.iter(|| black_box(ct.reference_transpose()))
+    });
+    c.bench_function("corner_turn_blocked_512", |b| {
+        b.iter(|| black_box(ct.blocked_transpose(64).expect("valid block")))
+    });
+
+    let workloads = triarch_bench::small_workloads();
+    c.bench_function("cslc_reference_small", |b| {
+        b.iter(|| black_box(workloads.cslc.reference_output()))
+    });
+    c.bench_function("beam_steering_reference_paper", |b| {
+        let bs = triarch_bench::paper_workloads().beam_steering;
+        b.iter(|| black_box(bs.reference_output()))
+    });
+}
+
+criterion_group!(benches, bench_ffts, bench_reference_kernels);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches regenerating Tables 1–4.
+//!
+//! Table 1 and Table 2 are configuration reads; Table 3 is one full
+//! simulated cell per machine (the full 15-cell table is exercised by the
+//! `repro` binary — benching each cell separately keeps Criterion's
+//! sample counts sane); Table 4 evaluates the roofline model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use triarch_core::arch::Architecture;
+use triarch_core::experiments;
+use triarch_kernels::Kernel;
+
+fn bench_table1_and_2(c: &mut Criterion) {
+    c.bench_function("table1_peak_throughput", |b| {
+        b.iter(|| black_box(experiments::table1().to_string()))
+    });
+    c.bench_function("table2_processor_parameters", |b| {
+        b.iter(|| black_box(experiments::table2().to_string()))
+    });
+}
+
+fn bench_table3_cells(c: &mut Criterion) {
+    let workloads = triarch_bench::paper_workloads();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for arch in Architecture::ALL {
+        for kernel in Kernel::ALL {
+            let id = format!("{arch}/{kernel}");
+            group.bench_function(&id, |b| {
+                b.iter(|| {
+                    let mut machine = arch.machine().expect("machine builds");
+                    black_box(machine.run(kernel, &workloads).expect("run succeeds").cycles)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_table4_model(c: &mut Criterion) {
+    let workloads = triarch_bench::paper_workloads();
+    c.bench_function("table4_roofline_model", |b| {
+        b.iter(|| black_box(experiments::table4(&workloads).expect("model evaluates")))
+    });
+}
+
+criterion_group!(benches, bench_table1_and_2, bench_table3_cells, bench_table4_model);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p triarch-bench --bin repro              # everything
+//! cargo run --release -p triarch-bench --bin repro -- table3    # one exhibit
+//! ```
+//!
+//! Accepted selectors: `table1 table2 table3 table4 figure8 figure9
+//! breakdowns altivec ablations`.
+
+use std::env;
+
+use triarch_core::arch::Architecture;
+use triarch_core::{ablations, experiments};
+use triarch_kernels::Kernel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    if want("table1") {
+        println!("== Table 1: peak throughput (32-bit words per cycle) ==");
+        println!("{}", experiments::table1());
+    }
+    if want("table2") {
+        println!("== Table 2: processor parameters ==");
+        println!("{}", experiments::table2());
+    }
+
+    let needs_runs =
+        ["table3", "table4", "figure8", "figure9", "breakdowns", "altivec", "claims", "ablations"]
+            .iter()
+            .any(|n| want(n));
+    if !needs_runs {
+        return Ok(());
+    }
+
+    eprintln!("running all machines on paper-sized workloads ...");
+    let workloads = triarch_bench::paper_workloads();
+    let table3 = experiments::table3(&workloads)?;
+
+    if want("table3") {
+        println!("== Table 3: experimental results (kilocycles) ==");
+        println!("{}", table3.render());
+        println!("== Table 3 vs published ==");
+        println!("{}", table3.render_vs_paper());
+    }
+    if want("table4") {
+        println!("== Table 4: performance-model lower bounds (kilocycles) ==");
+        println!("{}", experiments::table4(&workloads)?);
+    }
+    if want("figure8") {
+        println!("== Figure 8: speedup over PPC+AltiVec (cycles) ==");
+        println!("{}", experiments::figure8(&table3).render());
+        println!("{}", experiments::figure8(&table3).render_chart(50));
+    }
+    if want("figure9") {
+        println!("== Figure 9: speedup over PPC+AltiVec (execution time) ==");
+        println!("{}", experiments::figure9(&table3).render());
+        println!("{}", experiments::figure9(&table3).render_chart(50));
+    }
+    if want("breakdowns") {
+        println!("== Section 4 cycle breakdowns ==");
+        println!("{}", table3.render_breakdowns());
+    }
+    if want("altivec") {
+        println!("== Section 4.5: AltiVec gains over scalar PPC ==");
+        for kernel in Kernel::ALL {
+            let gain = table3.cycles(Architecture::Ppc, kernel).get() as f64
+                / table3.cycles(Architecture::Altivec, kernel).get() as f64;
+            println!("  {kernel}: {gain:.1}x");
+        }
+        println!();
+    }
+    if want("claims") {
+        println!("== Section 4 claims scorecard ==");
+        let claims = triarch_core::claims::evaluate(&table3);
+        println!("{}", triarch_core::claims::render(&claims));
+    }
+    if want("ablations") {
+        println!("== Ablations ==");
+        println!("{}", ablations::render_all(&workloads)?);
+    }
+    Ok(())
+}

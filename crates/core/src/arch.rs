@@ -1,0 +1,101 @@
+//! The study's machine registry.
+
+use std::fmt;
+
+use triarch_imagine::Imagine;
+use triarch_kernels::SignalMachine;
+use triarch_ppc::Ppc;
+use triarch_raw::Raw;
+use triarch_simcore::SimError;
+use triarch_viram::Viram;
+
+/// The five machines of the study, in the paper's row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Scalar PowerPC G4 (measured baseline).
+    Ppc,
+    /// PowerPC G4 with hand-inserted AltiVec.
+    Altivec,
+    /// VIRAM processor-in-memory.
+    Viram,
+    /// Imagine stream processor.
+    Imagine,
+    /// Raw tiled processor.
+    Raw,
+}
+
+impl Architecture {
+    /// All machines in Table 3 row order.
+    pub const ALL: [Architecture; 5] = [
+        Architecture::Ppc,
+        Architecture::Altivec,
+        Architecture::Viram,
+        Architecture::Imagine,
+        Architecture::Raw,
+    ];
+
+    /// The three research machines (excluding the baseline rows).
+    pub const RESEARCH: [Architecture; 3] =
+        [Architecture::Viram, Architecture::Imagine, Architecture::Raw];
+
+    /// Display name matching the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::Ppc => "PPC",
+            Architecture::Altivec => "Altivec",
+            Architecture::Viram => "VIRAM",
+            Architecture::Imagine => "Imagine",
+            Architecture::Raw => "Raw",
+        }
+    }
+
+    /// Instantiates the machine with its paper configuration.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in configurations; the `Result` mirrors
+    /// the machines' fallible constructors.
+    pub fn machine(self) -> Result<Box<dyn SignalMachine>, SimError> {
+        Ok(match self {
+            Architecture::Ppc => Box::new(Ppc::scalar()?),
+            Architecture::Altivec => Box::new(Ppc::altivec()?),
+            Architecture::Viram => Box::new(Viram::new()?),
+            Architecture::Imagine => Box::new(Imagine::new()?),
+            Architecture::Raw => Box::new(Raw::new()?),
+        })
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_all_machines() {
+        for arch in Architecture::ALL {
+            let m = arch.machine().unwrap();
+            // Table-2 clock sanity per machine.
+            let mhz = m.info().clock.mhz();
+            match arch {
+                Architecture::Ppc | Architecture::Altivec => assert_eq!(mhz, 1000.0),
+                Architecture::Viram => assert_eq!(mhz, 200.0),
+                Architecture::Imagine | Architecture::Raw => assert_eq!(mhz, 300.0),
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        let names: Vec<&str> = Architecture::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["PPC", "Altivec", "VIRAM", "Imagine", "Raw"]);
+        assert_eq!(Architecture::RESEARCH.len(), 3);
+        assert_eq!(Architecture::Viram.to_string(), "VIRAM");
+    }
+}

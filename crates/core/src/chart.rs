@@ -1,0 +1,138 @@
+//! ASCII bar charts for the paper's figures.
+//!
+//! Figures 8 and 9 in the paper are grouped bar charts on a logarithmic
+//! vertical axis; this module renders the same data as horizontal ASCII
+//! bars with a log-scaled length, so the repro binary's output is
+//! visually comparable to the paper's plots.
+
+/// One bar: a label and a positive value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Row label (e.g. `"VIRAM / Corner Turn"`).
+    pub label: String,
+    /// Bar value; must be positive to render on a log axis.
+    pub value: f64,
+}
+
+/// Renders horizontal bars on a log10 axis.
+///
+/// Bars are scaled so the largest value spans `width` characters; values
+/// of 1.0 (no speedup) have zero length, values below 1.0 render as a
+/// left marker. Returns an empty string for an empty input.
+///
+/// # Example
+///
+/// ```
+/// use triarch_core::chart::{render_log_bars, Bar};
+///
+/// let bars = vec![
+///     Bar { label: "Raw".into(), value: 200.0 },
+///     Bar { label: "VIRAM".into(), value: 50.0 },
+/// ];
+/// let chart = render_log_bars(&bars, 40);
+/// assert!(chart.contains("Raw"));
+/// assert!(chart.contains('#'));
+/// ```
+#[must_use]
+pub fn render_log_bars(bars: &[Bar], width: usize) -> String {
+    if bars.is_empty() || width == 0 {
+        return String::new();
+    }
+    let max_log = bars
+        .iter()
+        .map(|b| b.value.max(f64::MIN_POSITIVE).log10())
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-9);
+    let label_width = bars.iter().map(|b| b.label.len()).max().unwrap_or(0);
+
+    let mut out = String::new();
+    for bar in bars {
+        let log = bar.value.max(f64::MIN_POSITIVE).log10();
+        let len = if log <= 0.0 {
+            0
+        } else {
+            ((log / max_log) * width as f64).round() as usize
+        };
+        out.push_str(&format!(
+            "{:<label_width$} |{}{} {:.1}x\n",
+            bar.label,
+            "#".repeat(len),
+            if log < 0.0 { "<" } else { "" },
+            bar.value,
+        ));
+    }
+    // Log-axis legend: decade tick marks.
+    let decades = max_log.ceil() as usize;
+    out.push_str(&format!(
+        "{:<label_width$} +{}\n",
+        "",
+        (1..=decades)
+            .map(|d| {
+                let pos = (d as f64 / max_log) * width as f64;
+                format!("10^{d}@{:.0}", pos.min(width as f64))
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bars(values: &[f64]) -> Vec<Bar> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Bar { label: format!("row{i}"), value: *v })
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_renders_nothing() {
+        assert_eq!(render_log_bars(&[], 40), "");
+        assert_eq!(render_log_bars(&bars(&[5.0]), 0), "");
+    }
+
+    #[test]
+    fn longest_bar_belongs_to_largest_value() {
+        let chart = render_log_bars(&bars(&[10.0, 100.0, 1000.0]), 30);
+        let lines: Vec<&str> = chart.lines().collect();
+        let count = |s: &str| s.matches('#').count();
+        assert!(count(lines[0]) < count(lines[1]));
+        assert!(count(lines[1]) < count(lines[2]));
+        assert_eq!(count(lines[2]), 30);
+    }
+
+    #[test]
+    fn log_scale_compresses_ratios() {
+        // 10 -> 100 and 100 -> 1000 are the same distance on a log axis.
+        let chart = render_log_bars(&bars(&[10.0, 100.0, 1000.0]), 30);
+        let lines: Vec<&str> = chart.lines().collect();
+        let count = |s: &str| s.matches('#').count() as i64;
+        let step1 = count(lines[1]) - count(lines[0]);
+        let step2 = count(lines[2]) - count(lines[1]);
+        assert!((step1 - step2).abs() <= 1, "steps {step1} vs {step2}");
+    }
+
+    #[test]
+    fn unity_speedup_has_zero_length() {
+        let chart = render_log_bars(&bars(&[1.0, 100.0]), 20);
+        let first = chart.lines().next().unwrap();
+        assert_eq!(first.matches('#').count(), 0);
+    }
+
+    #[test]
+    fn sub_unity_marks_left() {
+        let chart = render_log_bars(&bars(&[0.5, 100.0]), 20);
+        assert!(chart.lines().next().unwrap().contains('<'));
+    }
+
+    #[test]
+    fn values_appear_in_output() {
+        let chart = render_log_bars(&bars(&[42.0]), 10);
+        assert!(chart.contains("42.0x"));
+        assert!(chart.contains("10^"));
+    }
+}

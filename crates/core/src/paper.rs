@@ -1,0 +1,93 @@
+//! Published numbers from the paper, used for comparison and band tests.
+
+use triarch_kernels::Kernel;
+
+use crate::arch::Architecture;
+
+/// Table 3 of the paper: measured cycles (in units of 10³ cycles).
+#[must_use]
+pub fn table3_kilocycles(arch: Architecture, kernel: Kernel) -> f64 {
+    use Architecture as A;
+    use Kernel as K;
+    match (arch, kernel) {
+        (A::Ppc, K::CornerTurn) => 34_250.0,
+        (A::Ppc, K::Cslc) => 29_013.0,
+        (A::Ppc, K::BeamSteering) => 730.0,
+        (A::Altivec, K::CornerTurn) => 29_288.0,
+        (A::Altivec, K::Cslc) => 4_931.0,
+        (A::Altivec, K::BeamSteering) => 364.0,
+        (A::Viram, K::CornerTurn) => 554.0,
+        (A::Viram, K::Cslc) => 424.0,
+        (A::Viram, K::BeamSteering) => 35.0,
+        (A::Imagine, K::CornerTurn) => 1_439.0,
+        (A::Imagine, K::Cslc) => 196.0,
+        (A::Imagine, K::BeamSteering) => 87.0,
+        (A::Raw, K::CornerTurn) => 146.0,
+        (A::Raw, K::Cslc) => 357.0,
+        (A::Raw, K::BeamSteering) => 19.0,
+    }
+}
+
+/// Table 2 of the paper: `(clock MHz, ALU count, peak GFLOPS)`.
+///
+/// The paper has one "PPC G4" column covering both baseline rows.
+#[must_use]
+pub fn table2_parameters(arch: Architecture) -> (f64, u32, f64) {
+    match arch {
+        Architecture::Ppc | Architecture::Altivec => (1_000.0, 4, 5.0),
+        Architecture::Viram => (200.0, 16, 3.2),
+        Architecture::Imagine => (300.0, 48, 14.4),
+        Architecture::Raw => (300.0, 16, 4.64),
+    }
+}
+
+/// Table 1 of the paper: `(on-chip w/c, off-chip w/c, compute ops/c)` for
+/// the three research machines.
+#[must_use]
+pub fn table1_throughput(arch: Architecture) -> Option<(f64, f64, f64)> {
+    match arch {
+        Architecture::Viram => Some((8.0, 2.0, 8.0)),
+        Architecture::Imagine => Some((16.0, 2.0, 48.0)),
+        Architecture::Raw => Some((16.0, 28.0, 16.0)),
+        _ => None,
+    }
+}
+
+/// The acceptance band (ratio of measured to published cycles) used by
+/// the reproduction tests: the *shape* must hold, not the exact count.
+pub const BAND_LO: f64 = 0.5;
+/// Upper edge of the acceptance band.
+pub const BAND_HI: f64 = 2.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_row_order_shapes() {
+        // Corner turn: Raw < VIRAM < Imagine.
+        let ct = |a| table3_kilocycles(a, Kernel::CornerTurn);
+        assert!(ct(Architecture::Raw) < ct(Architecture::Viram));
+        assert!(ct(Architecture::Viram) < ct(Architecture::Imagine));
+        // CSLC: Imagine < Raw < VIRAM.
+        let cs = |a| table3_kilocycles(a, Kernel::Cslc);
+        assert!(cs(Architecture::Imagine) < cs(Architecture::Raw));
+        assert!(cs(Architecture::Raw) < cs(Architecture::Viram));
+        // Beam steering: Raw < VIRAM < Imagine.
+        let bs = |a| table3_kilocycles(a, Kernel::BeamSteering);
+        assert!(bs(Architecture::Raw) < bs(Architecture::Viram));
+        assert!(bs(Architecture::Viram) < bs(Architecture::Imagine));
+    }
+
+    #[test]
+    fn table2_matches_known_peaks() {
+        assert_eq!(table2_parameters(Architecture::Imagine), (300.0, 48, 14.4));
+        assert_eq!(table2_parameters(Architecture::Viram).2, 3.2);
+    }
+
+    #[test]
+    fn table1_only_covers_research_machines() {
+        assert!(table1_throughput(Architecture::Ppc).is_none());
+        assert_eq!(table1_throughput(Architecture::Raw), Some((16.0, 28.0, 16.0)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Plain-text table rendering for the experiment reports.
+
+use std::fmt;
+
+/// A fixed-width text table (right-aligned data columns).
+///
+/// # Example
+///
+/// ```
+/// use triarch_core::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["", "Corner Turn", "CSLC"]);
+/// t.row(vec!["VIRAM".into(), "554".into(), "424".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("VIRAM"));
+/// assert!(s.contains("Corner Turn"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut w = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in w.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                if i == 0 {
+                    write!(f, "{cell:<width$}")?;
+                } else {
+                    write!(f, "  {cell:>width$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        let total: usize = w.iter().sum::<usize>() + 2 * (w.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a kilocycle count the way the paper's Table 3 does
+/// (thousands separators, no decimals above 100, one decimal below).
+#[must_use]
+pub fn fmt_kilocycles(kc: f64) -> String {
+    if kc >= 100.0 {
+        let n = kc.round() as u64;
+        let digits = n.to_string();
+        let mut out = String::new();
+        for (i, ch) in digits.chars().enumerate() {
+            if i > 0 && (digits.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(ch);
+        }
+        out
+    } else {
+        format!("{kc:.1}")
+    }
+}
+
+/// Formats a speedup factor (two significant styles: one decimal).
+#[must_use]
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_padding() {
+        let mut t = TextTable::new(vec!["", "A", "BBBB"]);
+        t.row(vec!["row".into(), "1".into(), "22".into()]);
+        t.row(vec!["longer-row".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        assert!(lines[0].contains("BBBB"));
+        assert!(lines[2].contains("row"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn kilocycle_formats_match_paper_style() {
+        assert_eq!(fmt_kilocycles(34_250.0), "34,250");
+        assert_eq!(fmt_kilocycles(554.4), "554");
+        assert_eq!(fmt_kilocycles(35.02), "35.0");
+        assert_eq!(fmt_kilocycles(19.0), "19.0");
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(fmt_speedup(200.6), "200.6x");
+    }
+}

@@ -1,0 +1,235 @@
+//! Single-precision complex arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A single-precision complex number.
+///
+/// All signal data in the study is interleaved single-precision complex,
+/// matching the paper's "all computations are done using single-precision
+/// floating-point operations".
+///
+/// # Example
+///
+/// ```
+/// use triarch_fft::Cf32;
+///
+/// let a = Cf32::new(1.0, 2.0);
+/// let b = Cf32::new(3.0, -1.0);
+/// assert_eq!(a * b, Cf32::new(5.0, 5.0));
+/// assert_eq!(a + b, Cf32::new(4.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cf32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Cf32 {
+    /// The complex zero.
+    pub const ZERO: Cf32 = Cf32 { re: 0.0, im: 0.0 };
+    /// The complex one.
+    pub const ONE: Cf32 = Cf32 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Cf32 = Cf32 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular parts.
+    #[must_use]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Cf32 { re, im }
+    }
+
+    /// `e^{iθ}` for angle `theta` in radians.
+    #[must_use]
+    pub fn from_angle(theta: f32) -> Self {
+        Cf32 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Cf32 { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[must_use]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[must_use]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplication by `i` (a quarter-turn) without any multiplies.
+    #[must_use]
+    pub fn mul_i(self) -> Self {
+        Cf32 { re: -self.im, im: self.re }
+    }
+
+    /// Multiplication by `-i` without any multiplies.
+    #[must_use]
+    pub fn mul_neg_i(self) -> Self {
+        Cf32 { re: self.im, im: -self.re }
+    }
+
+    /// Scales both parts by a real factor.
+    #[must_use]
+    pub fn scale(self, s: f32) -> Self {
+        Cf32 { re: self.re * s, im: self.im * s }
+    }
+
+    /// Largest absolute difference between parts of `self` and `other`.
+    #[must_use]
+    pub fn max_abs_diff(self, other: Cf32) -> f32 {
+        (self.re - other.re).abs().max((self.im - other.im).abs())
+    }
+}
+
+impl Add for Cf32 {
+    type Output = Cf32;
+    fn add(self, rhs: Cf32) -> Cf32 {
+        Cf32 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Cf32 {
+    fn add_assign(&mut self, rhs: Cf32) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cf32 {
+    type Output = Cf32;
+    fn sub(self, rhs: Cf32) -> Cf32 {
+        Cf32 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Cf32 {
+    fn sub_assign(&mut self, rhs: Cf32) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Cf32 {
+    type Output = Cf32;
+    fn mul(self, rhs: Cf32) -> Cf32 {
+        Cf32 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Cf32 {
+    fn mul_assign(&mut self, rhs: Cf32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f32> for Cf32 {
+    type Output = Cf32;
+    fn mul(self, rhs: f32) -> Cf32 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Cf32 {
+    type Output = Cf32;
+    fn div(self, rhs: Cf32) -> Cf32 {
+        let d = rhs.norm_sqr();
+        Cf32 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Cf32 {
+    type Output = Cf32;
+    fn neg(self) -> Cf32 {
+        Cf32 { re: -self.re, im: -self.im }
+    }
+}
+
+impl fmt::Display for Cf32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Cf32::new(2.0, -3.0);
+        assert_eq!(a + Cf32::ZERO, a);
+        assert_eq!(a * Cf32::ONE, a);
+        assert_eq!(a - a, Cf32::ZERO);
+        assert_eq!(-a, Cf32::new(-2.0, 3.0));
+        assert_eq!(a * Cf32::I, a.mul_i());
+        assert_eq!(a * (-Cf32::I), a.mul_neg_i());
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Cf32::new(1.5, -0.25);
+        let b = Cf32::new(-2.0, 4.0);
+        let q = (a * b) / b;
+        assert!(q.max_abs_diff(a) < 1e-6);
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let a = Cf32::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        let p = a * a.conj();
+        assert!(p.max_abs_diff(Cf32::new(25.0, 0.0)) < 1e-6);
+    }
+
+    #[test]
+    fn from_angle_is_unit() {
+        for k in 0..8 {
+            let theta = k as f32 * std::f32::consts::FRAC_PI_4;
+            let z = Cf32::from_angle(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-6);
+        }
+        assert!(Cf32::from_angle(0.0).max_abs_diff(Cf32::ONE) < 1e-7);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Cf32::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Cf32::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn scale_and_mul_f32_agree() {
+        let a = Cf32::new(2.0, -6.0);
+        assert_eq!(a.scale(0.5), a * 0.5f32);
+        assert_eq!(a.scale(0.5), Cf32::new(1.0, -3.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = Cf32::new(1.0, 1.0);
+        a += Cf32::new(1.0, 0.0);
+        assert_eq!(a, Cf32::new(2.0, 1.0));
+        a -= Cf32::new(0.0, 1.0);
+        assert_eq!(a, Cf32::new(2.0, 0.0));
+        a *= Cf32::new(0.0, 1.0);
+        assert_eq!(a, Cf32::new(0.0, 2.0));
+    }
+}

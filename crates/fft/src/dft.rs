@@ -1,0 +1,111 @@
+//! Naive O(n²) discrete Fourier transform — the correctness oracle.
+
+use crate::complex::Cf32;
+
+/// Computes the forward DFT of `input` by direct summation.
+///
+/// `X[k] = Σ_n x[n] · e^{-2πikn/N}`. Used only in tests and verification;
+/// all performance-sensitive paths use the FFT implementations.
+///
+/// # Example
+///
+/// ```
+/// use triarch_fft::{dft_naive, Cf32};
+///
+/// let x = vec![Cf32::ONE; 4];
+/// let spectrum = dft_naive(&x);
+/// assert!((spectrum[0].re - 4.0).abs() < 1e-5);
+/// assert!(spectrum[1].abs() < 1e-5);
+/// ```
+#[must_use]
+pub fn dft_naive(input: &[Cf32]) -> Vec<Cf32> {
+    let n = input.len();
+    let mut out = vec![Cf32::ZERO; n];
+    for (k, bin) in out.iter_mut().enumerate() {
+        let mut acc = Cf32::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let theta = -2.0 * std::f64::consts::PI * (k as f64) * (j as f64) / (n as f64);
+            let w = Cf32::new(theta.cos() as f32, theta.sin() as f32);
+            acc += x * w;
+        }
+        *bin = acc;
+    }
+    out
+}
+
+/// Computes the inverse DFT of `input` by direct summation, including the
+/// `1/N` normalization.
+#[must_use]
+pub fn idft_naive(input: &[Cf32]) -> Vec<Cf32> {
+    let n = input.len();
+    let mut out = vec![Cf32::ZERO; n];
+    for (k, bin) in out.iter_mut().enumerate() {
+        let mut acc = Cf32::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let theta = 2.0 * std::f64::consts::PI * (k as f64) * (j as f64) / (n as f64);
+            let w = Cf32::new(theta.cos() as f32, theta.sin() as f32);
+            acc += x * w;
+        }
+        *bin = acc.scale(1.0 / n as f32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[Cf32], b: &[Cf32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x.max_abs_diff(*y)).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Cf32::ZERO; 8];
+        x[0] = Cf32::ONE;
+        let spectrum = dft_naive(&x);
+        for bin in &spectrum {
+            assert!(bin.max_abs_diff(Cf32::ONE) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 16;
+        let x: Vec<Cf32> = (0..n)
+            .map(|j| Cf32::from_angle(2.0 * std::f32::consts::PI * 3.0 * j as f32 / n as f32))
+            .collect();
+        let spectrum = dft_naive(&x);
+        assert!((spectrum[3].re - n as f32).abs() < 1e-3);
+        for (k, bin) in spectrum.iter().enumerate() {
+            if k != 3 {
+                assert!(bin.abs() < 1e-3, "leakage in bin {k}: {bin}");
+            }
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let x: Vec<Cf32> =
+            (0..32).map(|j| Cf32::new((j as f32 * 0.37).sin(), (j as f32 * 0.11).cos())).collect();
+        let round_trip = idft_naive(&dft_naive(&x));
+        assert!(max_err(&x, &round_trip) < 1e-4);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Cf32> = (0..8).map(|j| Cf32::new(j as f32, 0.0)).collect();
+        let b: Vec<Cf32> = (0..8).map(|j| Cf32::new(0.0, -(j as f32))).collect();
+        let sum: Vec<Cf32> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let lhs = dft_naive(&sum);
+        let rhs: Vec<Cf32> =
+            dft_naive(&a).iter().zip(dft_naive(&b)).map(|(x, y)| *x + y).collect();
+        assert!(max_err(&lhs, &rhs) < 1e-4);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(dft_naive(&[]).is_empty());
+        assert!(idft_naive(&[]).is_empty());
+    }
+}

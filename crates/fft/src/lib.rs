@@ -1,0 +1,44 @@
+//! FFT substrate for the `triarch` study.
+//!
+//! The paper's CSLC kernel is dominated by 128-point FFTs/IFFTs. Each
+//! architecture mapping uses a different algorithm (paper Section 3.2):
+//!
+//! - VIRAM and Imagine use a hand-optimized **radix-4** FFT; since 128 is
+//!   not a power of four, three radix-4 stages are combined with one
+//!   radix-2 stage ([`fft_mixed_128`] and the general [`Fft`] planner).
+//! - Raw uses a plain C **radix-2** FFT (the radix-4 version spilled
+//!   registers), which executes about 1.5× the operations.
+//!
+//! This crate provides all of those, a naive DFT used as the correctness
+//! oracle in tests, and operation-count models ([`ops`]) that feed the
+//! Section 2.5 performance models.
+//!
+//! # Example
+//!
+//! ```
+//! use triarch_fft::{Cf32, Fft};
+//!
+//! # fn main() -> Result<(), triarch_fft::FftError> {
+//! let fft = Fft::forward(128)?;
+//! let mut data: Vec<Cf32> = (0..128).map(|i| Cf32::new(i as f32, 0.0)).collect();
+//! fft.process(&mut data)?;
+//! // DC bin is the sum of the inputs: 0 + 1 + ... + 127 = 8128.
+//! assert!((data[0].re - 8128.0).abs() < 1e-2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod complex;
+pub mod dft;
+pub mod ops;
+pub mod plan;
+pub mod radix2;
+pub mod radix4;
+pub mod twiddle;
+
+pub use complex::Cf32;
+pub use dft::{dft_naive, idft_naive};
+pub use ops::OpCount;
+pub use plan::{Direction, Fft, FftError};
+pub use radix2::{fft_radix2, ifft_radix2};
+pub use radix4::{fft_mixed_128, fft_radix4};

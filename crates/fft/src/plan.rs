@@ -1,0 +1,198 @@
+//! A fallible, planned FFT interface.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::complex::Cf32;
+use crate::radix4::{fft_radix4, ifft_radix4};
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Time → frequency.
+    Forward,
+    /// Frequency → time (includes `1/N` scaling).
+    Inverse,
+}
+
+/// Errors from planning or executing a transform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// The requested length is not a power of two.
+    NotPowerOfTwo {
+        /// The rejected length.
+        len: usize,
+    },
+    /// A buffer of the wrong length was passed to a plan.
+    LengthMismatch {
+        /// Length the plan was built for.
+        expected: usize,
+        /// Length of the buffer provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo { len } => {
+                write!(f, "fft length {len} is not a power of two")
+            }
+            FftError::LengthMismatch { expected, got } => {
+                write!(f, "fft plan expects {expected} points, buffer has {got}")
+            }
+        }
+    }
+}
+
+impl Error for FftError {}
+
+/// A planned transform of a fixed length and direction.
+///
+/// The plan uses the mixed radix-4/radix-2 algorithm of the paper's VIRAM
+/// and Imagine mappings. For the raw radix-2 algorithm used on Raw, call
+/// [`crate::fft_radix2`] directly.
+///
+/// # Example
+///
+/// ```
+/// use triarch_fft::{Cf32, Direction, Fft};
+///
+/// # fn main() -> Result<(), triarch_fft::FftError> {
+/// let forward = Fft::forward(128)?;
+/// let inverse = Fft::new(128, Direction::Inverse)?;
+/// let original: Vec<Cf32> = (0..128).map(|i| Cf32::new((i as f32).sin(), 0.0)).collect();
+/// let mut data = original.clone();
+/// forward.process(&mut data)?;
+/// inverse.process(&mut data)?;
+/// let err = data.iter().zip(&original).map(|(a, b)| a.max_abs_diff(*b)).fold(0.0, f32::max);
+/// assert!(err < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    len: usize,
+    direction: Direction,
+}
+
+impl Fft {
+    /// Plans a transform of `len` points in `direction`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] unless `len` is a power of two.
+    pub fn new(len: usize, direction: Direction) -> Result<Self, FftError> {
+        if !len.is_power_of_two() {
+            return Err(FftError::NotPowerOfTwo { len });
+        }
+        Ok(Fft { len, direction })
+    }
+
+    /// Plans a forward transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] unless `len` is a power of two.
+    pub fn forward(len: usize) -> Result<Self, FftError> {
+        Fft::new(len, Direction::Forward)
+    }
+
+    /// Plans an inverse transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] unless `len` is a power of two.
+    pub fn inverse(len: usize) -> Result<Self, FftError> {
+        Fft::new(len, Direction::Inverse)
+    }
+
+    /// The planned length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan is for the degenerate zero-length transform.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The planned direction.
+    #[must_use]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Executes the transform in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len()` differs from
+    /// the planned length.
+    pub fn process(&self, data: &mut [Cf32]) -> Result<(), FftError> {
+        if data.len() != self.len {
+            return Err(FftError::LengthMismatch { expected: self.len, got: data.len() });
+        }
+        match self.direction {
+            Direction::Forward => fft_radix4(data),
+            Direction::Inverse => ifft_radix4(data),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(Fft::forward(100).unwrap_err(), FftError::NotPowerOfTwo { len: 100 });
+        assert!(Fft::forward(128).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_buffer_length() {
+        let plan = Fft::forward(64).unwrap();
+        let mut data = vec![Cf32::ZERO; 32];
+        assert_eq!(
+            plan.process(&mut data),
+            Err(FftError::LengthMismatch { expected: 64, got: 32 })
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let plan = Fft::inverse(256).unwrap();
+        assert_eq!(plan.len(), 256);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.direction(), Direction::Inverse);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(FftError::NotPowerOfTwo { len: 12 }.to_string().contains("12"));
+        let e = FftError::LengthMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains("4"));
+        assert!(e.to_string().contains("2"));
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity() {
+        let f = Fft::forward(32).unwrap();
+        let i = Fft::inverse(32).unwrap();
+        let original: Vec<Cf32> =
+            (0..32).map(|k| Cf32::new(k as f32, -(k as f32) * 0.5)).collect();
+        let mut data = original.clone();
+        f.process(&mut data).unwrap();
+        i.process(&mut data).unwrap();
+        let err = data
+            .iter()
+            .zip(&original)
+            .map(|(a, b)| a.max_abs_diff(*b))
+            .fold(0.0, f32::max);
+        assert!(err < 1e-3);
+    }
+}

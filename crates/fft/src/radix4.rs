@@ -1,0 +1,217 @@
+//! Recursive radix-4 (and mixed radix-4/radix-2) decimation-in-time FFT.
+//!
+//! The paper's VIRAM and Imagine mappings use "a parallelized
+//! hand-optimized radix-4 FFT"; since the CSLC's FFT length is 128 — not a
+//! power of four — "three radix-4 stages and one radix-2 stage" are used.
+//! [`fft_mixed_128`] reproduces exactly that stage structure, and the
+//! recursion generalizes to any power of two.
+
+use crate::complex::Cf32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Forward,
+    Inverse,
+}
+
+fn twiddle(k: usize, n: usize, dir: Dir) -> Cf32 {
+    let sign = match dir {
+        Dir::Forward => -1.0,
+        Dir::Inverse => 1.0,
+    };
+    let theta = sign * 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+    Cf32::new(theta.cos() as f32, theta.sin() as f32)
+}
+
+/// Recursive mixed-radix transform: radix-4 while divisible by four,
+/// finishing with a radix-2 stage for lengths `2 * 4^m`.
+fn fft_rec(data: &mut [Cf32], dir: Dir) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n == 2 {
+        let a = data[0];
+        let b = data[1];
+        data[0] = a + b;
+        data[1] = a - b;
+        return;
+    }
+    // Any power of two above 2 is divisible by 4, so the recursion is
+    // radix-4 all the way down to a final radix-2 (n == 2) stage — for
+    // n = 128 that is exactly the paper's "three radix-4 stages and one
+    // radix-2 stage".
+    debug_assert!(n.is_multiple_of(4), "length must be a power of two");
+    {
+        let q = n / 4;
+        let mut sub: [Vec<Cf32>; 4] =
+            [Vec::with_capacity(q), Vec::with_capacity(q), Vec::with_capacity(q), Vec::with_capacity(q)];
+        for (i, &v) in data.iter().enumerate() {
+            sub[i % 4].push(v);
+        }
+        for s in sub.iter_mut() {
+            fft_rec(s, dir);
+        }
+        for k in 0..q {
+            let a = sub[0][k];
+            let b = sub[1][k] * twiddle(k, n, dir);
+            let c = sub[2][k] * twiddle(2 * k, n, dir);
+            let d = sub[3][k] * twiddle(3 * k, n, dir);
+            let (ib, id) = match dir {
+                Dir::Forward => (b.mul_neg_i(), d.mul_neg_i()),
+                Dir::Inverse => (b.mul_i(), d.mul_i()),
+            };
+            data[k] = a + b + c + d;
+            data[k + q] = a + ib - c - id;
+            data[k + 2 * q] = a - b + c - d;
+            data[k + 3 * q] = a - ib - c + id;
+        }
+    }
+}
+
+/// Computes the forward FFT in place using radix-4 stages (with one
+/// radix-2 stage when the length is `2 · 4^m`).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_radix4(data: &mut [Cf32]) {
+    assert!(
+        data.is_empty() || data.len().is_power_of_two(),
+        "radix-4 FFT requires a power-of-two length"
+    );
+    fft_rec(data, Dir::Forward);
+}
+
+/// Computes the inverse FFT in place (with `1/N` scaling) using the same
+/// radix-4 stage structure.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_radix4(data: &mut [Cf32]) {
+    assert!(
+        data.is_empty() || data.len().is_power_of_two(),
+        "radix-4 IFFT requires a power-of-two length"
+    );
+    let n = data.len();
+    fft_rec(data, Dir::Inverse);
+    if n > 0 {
+        let inv = 1.0 / n as f32;
+        for v in data.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+}
+
+/// The paper's CSLC transform: a 128-point FFT executed as three radix-4
+/// stages plus one radix-2 stage.
+///
+/// # Panics
+///
+/// Panics if `data.len() != 128`.
+pub fn fft_mixed_128(data: &mut [Cf32]) {
+    assert_eq!(data.len(), 128, "fft_mixed_128 requires exactly 128 points");
+    fft_rec(data, Dir::Forward);
+}
+
+/// Inverse of [`fft_mixed_128`], with `1/128` scaling.
+///
+/// # Panics
+///
+/// Panics if `data.len() != 128`.
+pub fn ifft_mixed_128(data: &mut [Cf32]) {
+    assert_eq!(data.len(), 128, "ifft_mixed_128 requires exactly 128 points");
+    fft_rec(data, Dir::Inverse);
+    for v in data.iter_mut() {
+        *v = v.scale(1.0 / 128.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+    use crate::radix2::fft_radix2;
+
+    fn max_err(a: &[Cf32], b: &[Cf32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x.max_abs_diff(*y)).fold(0.0, f32::max)
+    }
+
+    fn signal(n: usize) -> Vec<Cf32> {
+        (0..n)
+            .map(|j| Cf32::new((j as f32 * 0.9).sin() - 0.1, (j as f32 * 0.4).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[4usize, 16, 64, 256] {
+            let x = signal(n);
+            let mut y = x.clone();
+            fft_radix4(&mut y);
+            assert!(max_err(&y, &dft_naive(&x)) < 1e-3 * n as f32, "n={n}");
+        }
+    }
+
+    #[test]
+    fn mixed_128_matches_radix2() {
+        let x = signal(128);
+        let mut a = x.clone();
+        let mut b = x;
+        fft_mixed_128(&mut a);
+        fft_radix2(&mut b);
+        assert!(max_err(&a, &b) < 1e-2);
+    }
+
+    #[test]
+    fn handles_two_times_power_of_four() {
+        // 8, 32, 128, 512 end in the radix-2 (n == 2) base stage.
+        for &n in &[2usize, 8, 32, 128, 512] {
+            let x = signal(n);
+            let mut y = x.clone();
+            fft_radix4(&mut y);
+            assert!(max_err(&y, &dft_naive(&x)) < 1e-3 * n as f32, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        for &n in &[4usize, 8, 128] {
+            let x = signal(n);
+            let mut y = x.clone();
+            fft_radix4(&mut y);
+            ifft_radix4(&mut y);
+            assert!(max_err(&x, &y) < 1e-4, "n={n}");
+        }
+        let x = signal(128);
+        let mut y = x.clone();
+        fft_mixed_128(&mut y);
+        ifft_mixed_128(&mut y);
+        assert!(max_err(&x, &y) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "128 points")]
+    fn mixed_128_rejects_other_lengths() {
+        let mut data = vec![Cf32::ZERO; 64];
+        fft_mixed_128(&mut data);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn radix4_rejects_non_power_of_two() {
+        let mut data = vec![Cf32::ZERO; 24];
+        fft_radix4(&mut data);
+    }
+
+    #[test]
+    fn empty_and_single_are_no_ops() {
+        let mut empty: Vec<Cf32> = vec![];
+        fft_radix4(&mut empty);
+        ifft_radix4(&mut empty);
+        let mut one = vec![Cf32::new(1.0, -1.0)];
+        fft_radix4(&mut one);
+        assert_eq!(one[0], Cf32::new(1.0, -1.0));
+    }
+}

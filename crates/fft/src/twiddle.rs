@@ -1,0 +1,115 @@
+//! Twiddle-factor tables and index-reversal permutations.
+
+use crate::complex::Cf32;
+
+/// Precomputed twiddle factors `w^k = e^{-2πik/n}` for `k in 0..n/2`.
+///
+/// Computed in `f64` and rounded once, so tables are as accurate as `f32`
+/// allows regardless of `n`.
+#[must_use]
+pub fn forward_twiddles(n: usize) -> Vec<Cf32> {
+    (0..n / 2)
+        .map(|k| {
+            let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            Cf32::new(theta.cos() as f32, theta.sin() as f32)
+        })
+        .collect()
+}
+
+/// Precomputed inverse twiddle factors `e^{+2πik/n}` for `k in 0..n/2`.
+#[must_use]
+pub fn inverse_twiddles(n: usize) -> Vec<Cf32> {
+    forward_twiddles(n).into_iter().map(Cf32::conj).collect()
+}
+
+/// Reverses the lowest `bits` bits of `i`.
+#[must_use]
+pub fn bit_reverse(i: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Permutes `data` into bit-reversed order in place.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "bit reversal requires a power-of-two length");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twiddles_lie_on_unit_circle() {
+        for &n in &[2usize, 8, 128, 1024] {
+            for w in forward_twiddles(n) {
+                assert!((w.abs() - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn first_twiddle_is_one() {
+        let t = forward_twiddles(8);
+        assert!(t[0].max_abs_diff(Cf32::ONE) < 1e-7);
+        // w^{n/4} = -i for the forward transform.
+        assert!(t[2].max_abs_diff(Cf32::new(0.0, -1.0)) < 1e-6);
+    }
+
+    #[test]
+    fn inverse_twiddles_are_conjugates() {
+        let f = forward_twiddles(64);
+        let i = inverse_twiddles(64);
+        for (a, b) in f.iter().zip(&i) {
+            assert_eq!(a.conj(), *b);
+        }
+    }
+
+    #[test]
+    fn bit_reverse_small_cases() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b011, 3), 0b110);
+        assert_eq!(bit_reverse(0b101, 3), 0b101);
+        assert_eq!(bit_reverse(1, 1), 1);
+        assert_eq!(bit_reverse(0, 0), 0);
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        for bits in 1..=10u32 {
+            for i in 0..(1usize << bits) {
+                assert_eq!(bit_reverse(bit_reverse(i, bits), bits), i);
+            }
+        }
+    }
+
+    #[test]
+    fn permute_is_involution() {
+        let original: Vec<usize> = (0..64).collect();
+        let mut data = original.clone();
+        bit_reverse_permute(&mut data);
+        assert_ne!(data, original);
+        bit_reverse_permute(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn permute_rejects_non_power_of_two() {
+        let mut data = vec![0u8; 12];
+        bit_reverse_permute(&mut data);
+    }
+}

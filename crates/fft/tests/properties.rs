@@ -1,0 +1,78 @@
+//! Property-based tests for the FFT substrate.
+
+use proptest::prelude::*;
+use triarch_fft::{dft_naive, fft_radix2, fft_radix4, ifft_radix2, Cf32, Fft};
+
+fn arb_signal(max_log2: u32) -> impl Strategy<Value = Vec<Cf32>> {
+    (1u32..=max_log2).prop_flat_map(|bits| {
+        let n = 1usize << bits;
+        proptest::collection::vec(
+            (-100.0f32..100.0, -100.0f32..100.0).prop_map(|(re, im)| Cf32::new(re, im)),
+            n..=n,
+        )
+    })
+}
+
+fn max_err(a: &[Cf32], b: &[Cf32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x.max_abs_diff(*y)).fold(0.0, f32::max)
+}
+
+proptest! {
+    /// FFT followed by IFFT recovers the signal (radix-2 pipeline).
+    #[test]
+    fn radix2_roundtrip(signal in arb_signal(9)) {
+        let mut data = signal.clone();
+        fft_radix2(&mut data);
+        ifft_radix2(&mut data);
+        let scale = signal.iter().map(|c| c.abs()).fold(1.0f32, f32::max);
+        prop_assert!(max_err(&signal, &data) <= 1e-4 * scale * signal.len() as f32);
+    }
+
+    /// Radix-2 and mixed radix-4 agree on identical input.
+    #[test]
+    fn radix2_and_radix4_agree(signal in arb_signal(8)) {
+        let mut a = signal.clone();
+        let mut b = signal.clone();
+        fft_radix2(&mut a);
+        fft_radix4(&mut b);
+        let scale = signal.iter().map(|c| c.abs()).fold(1.0f32, f32::max);
+        prop_assert!(max_err(&a, &b) <= 2e-4 * scale * signal.len() as f32);
+    }
+
+    /// The planned interface matches the naive DFT on small sizes.
+    #[test]
+    fn plan_matches_dft(signal in arb_signal(6)) {
+        let plan = Fft::forward(signal.len()).unwrap();
+        let mut data = signal.clone();
+        plan.process(&mut data).unwrap();
+        let reference = dft_naive(&signal);
+        let scale = signal.iter().map(|c| c.abs()).fold(1.0f32, f32::max);
+        prop_assert!(max_err(&data, &reference) <= 1e-3 * scale * signal.len() as f32);
+    }
+
+    /// Parseval: energy is preserved (up to the 1/N convention).
+    #[test]
+    fn parseval_holds(signal in arb_signal(8)) {
+        let mut data = signal.clone();
+        fft_radix2(&mut data);
+        let time: f64 = signal.iter().map(|c| f64::from(c.norm_sqr())).sum();
+        let freq: f64 =
+            data.iter().map(|c| f64::from(c.norm_sqr())).sum::<f64>() / signal.len() as f64;
+        if time > 1e-3 {
+            prop_assert!(((time - freq) / time).abs() < 1e-3, "time {time} freq {freq}");
+        }
+    }
+
+    /// Linearity of the transform.
+    #[test]
+    fn fft_is_linear(a in arb_signal(6)) {
+        let sum_input: Vec<Cf32> = a.iter().map(|x| *x + x.scale(2.0)).collect();
+        let mut lhs = sum_input;
+        fft_radix2(&mut lhs);
+        let mut rhs = a.clone();
+        fft_radix2(&mut rhs);
+        let rhs: Vec<Cf32> = rhs.iter().map(|x| x.scale(3.0)).collect();
+        let scale = a.iter().map(|c| c.abs()).fold(1.0f32, f32::max);
+        prop_assert!(max_err(&lhs, &rhs) <= 1e-3 * scale * a.len() as f32);
+    }
+}

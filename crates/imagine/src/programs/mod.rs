@@ -1,0 +1,5 @@
+//! Stream kernel programs for Imagine (paper Section 3).
+
+pub mod beam_steering;
+pub mod corner_turn;
+pub mod cslc;

@@ -1,0 +1,49 @@
+//! Property-based tests for the Imagine simulator.
+
+use proptest::prelude::*;
+use triarch_imagine::{programs, ImagineConfig};
+use triarch_kernels::beam_steering::BeamSteeringWorkload;
+use triarch_kernels::corner_turn::CornerTurnWorkload;
+use triarch_simcore::Verification;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The strip-streamed corner turn is bit-exact for arbitrary shapes.
+    #[test]
+    fn corner_turn_bit_exact(rows in 1usize..96, cols in 1usize..96, seed in any::<u64>()) {
+        let w = CornerTurnWorkload::with_dims(rows, cols, seed).unwrap();
+        let run = programs::corner_turn::run(&ImagineConfig::paper(), &w).unwrap();
+        prop_assert_eq!(run.verification, Verification::BitExact);
+    }
+
+    /// Beam steering is bit-exact and the SRF-resident variant computes
+    /// identical results while never being slower.
+    #[test]
+    fn beam_steering_placements_agree(
+        elements in 1usize..256,
+        dwells in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        use programs::beam_steering::{run_with_table_placement, TablePlacement};
+        let w = BeamSteeringWorkload::new(elements, 2, dwells, seed).unwrap();
+        let cfg = ImagineConfig::paper();
+        let dram = run_with_table_placement(&cfg, &w, TablePlacement::Dram).unwrap();
+        let srf = run_with_table_placement(&cfg, &w, TablePlacement::SrfResident).unwrap();
+        prop_assert_eq!(dram.verification, Verification::BitExact);
+        prop_assert_eq!(srf.verification, Verification::BitExact);
+        prop_assert!(srf.cycles <= dram.cycles);
+    }
+
+    /// Narrowing the off-chip interface never speeds up the corner turn.
+    #[test]
+    fn narrower_memory_interface_never_helps(seed in any::<u64>(), wpc in 1u32..2) {
+        let w = CornerTurnWorkload::with_dims(64, 64, seed).unwrap();
+        let fast = programs::corner_turn::run(&ImagineConfig::paper(), &w).unwrap().cycles;
+        let mut cfg = ImagineConfig::paper();
+        cfg.dram.seq_words_per_cycle = wpc;
+        cfg.dram.strided_words_per_cycle = wpc;
+        let slow = programs::corner_turn::run(&cfg, &w).unwrap().cycles;
+        prop_assert!(slow >= fast);
+    }
+}

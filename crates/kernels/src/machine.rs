@@ -1,0 +1,155 @@
+//! The interface every simulated architecture implements.
+
+use std::fmt;
+
+use triarch_simcore::{KernelRun, MachineInfo, SimError};
+
+use crate::beam_steering::BeamSteeringWorkload;
+use crate::corner_turn::CornerTurnWorkload;
+use crate::cslc::CslcWorkload;
+
+/// The three kernels of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// 1024×1024 matrix transpose (Section 3.1).
+    CornerTurn,
+    /// Coherent side-lobe canceller (Section 3.2).
+    Cslc,
+    /// Beam steering (Section 3.3).
+    BeamSteering,
+}
+
+impl Kernel {
+    /// All kernels in the paper's presentation order.
+    pub const ALL: [Kernel; 3] = [Kernel::CornerTurn, Kernel::Cslc, Kernel::BeamSteering];
+
+    /// Display name matching the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::CornerTurn => "Corner Turn",
+            Kernel::Cslc => "CSLC",
+            Kernel::BeamSteering => "Beam Steering",
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A simulated machine that can run the study's three kernels.
+///
+/// Implementations must be *data-accurate*: each run computes the actual
+/// kernel output on simulated hardware and reports how it compared with
+/// the workload's reference output in [`KernelRun::verification`].
+pub trait SignalMachine {
+    /// Static machine description (paper Table 2 row).
+    fn info(&self) -> &MachineInfo;
+
+    /// Runs the corner-turn kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the workload shape is unsupported by this
+    /// machine's mapping or exceeds a hardware resource.
+    fn corner_turn(&mut self, workload: &CornerTurnWorkload) -> Result<KernelRun, SimError>;
+
+    /// Runs the CSLC kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the workload shape is unsupported by this
+    /// machine's mapping or exceeds a hardware resource.
+    fn cslc(&mut self, workload: &CslcWorkload) -> Result<KernelRun, SimError>;
+
+    /// Runs the beam-steering kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the workload shape is unsupported by this
+    /// machine's mapping or exceeds a hardware resource.
+    fn beam_steering(&mut self, workload: &BeamSteeringWorkload) -> Result<KernelRun, SimError>;
+
+    /// Dispatches a kernel by enum value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the corresponding kernel method's error.
+    fn run(&mut self, kernel: Kernel, workloads: &WorkloadSet) -> Result<KernelRun, SimError> {
+        match kernel {
+            Kernel::CornerTurn => self.corner_turn(&workloads.corner_turn),
+            Kernel::Cslc => self.cslc(&workloads.cslc),
+            Kernel::BeamSteering => self.beam_steering(&workloads.beam_steering),
+        }
+    }
+}
+
+/// One instance of every kernel workload, shared across machines so all
+/// architectures process identical data.
+#[derive(Debug, Clone)]
+pub struct WorkloadSet {
+    /// The corner-turn matrix.
+    pub corner_turn: CornerTurnWorkload,
+    /// The CSLC channels and weights.
+    pub cslc: CslcWorkload,
+    /// The beam-steering tables.
+    pub beam_steering: BeamSteeringWorkload,
+}
+
+impl WorkloadSet {
+    /// Builds the paper-sized workload set from a seed.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper parameters.
+    pub fn paper(seed: u64) -> Result<Self, SimError> {
+        Ok(WorkloadSet {
+            corner_turn: CornerTurnWorkload::paper(seed)?,
+            cslc: CslcWorkload::paper(seed.wrapping_add(1))?,
+            beam_steering: BeamSteeringWorkload::paper(seed.wrapping_add(2))?,
+        })
+    }
+
+    /// Builds a reduced workload set for fast tests: a 64×64 corner turn,
+    /// the small CSLC configuration, and a 128-element beam steer.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in small parameters.
+    pub fn small(seed: u64) -> Result<Self, SimError> {
+        Ok(WorkloadSet {
+            corner_turn: CornerTurnWorkload::with_dims(64, 64, seed)?,
+            cslc: CslcWorkload::new(crate::cslc::CslcConfig::small(), seed.wrapping_add(1))?,
+            beam_steering: BeamSteeringWorkload::new(128, 4, 2, seed.wrapping_add(2))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_match_paper_tables() {
+        assert_eq!(Kernel::CornerTurn.name(), "Corner Turn");
+        assert_eq!(Kernel::Cslc.name(), "CSLC");
+        assert_eq!(Kernel::BeamSteering.name(), "Beam Steering");
+        assert_eq!(Kernel::ALL.len(), 3);
+        assert_eq!(Kernel::CornerTurn.to_string(), "Corner Turn");
+    }
+
+    #[test]
+    fn workload_sets_build() {
+        let small = WorkloadSet::small(3).unwrap();
+        assert_eq!(small.corner_turn.rows(), 64);
+        assert_eq!(small.beam_steering.directions(), 4);
+        // The paper set is large; just verify its shape without running it.
+        let paper = WorkloadSet::paper(3).unwrap();
+        assert_eq!(paper.corner_turn.rows(), 1024);
+        assert_eq!(paper.cslc.config().subbands, 73);
+        assert_eq!(paper.beam_steering.outputs(), 51_456);
+    }
+}

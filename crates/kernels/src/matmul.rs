@@ -1,0 +1,128 @@
+//! Matrix multiplication — an extension kernel.
+//!
+//! Not one of the paper's three radar kernels, but the paper's Raw
+//! description (Section 2.3) leans on it: "Several kernels including
+//! matrix multiplication are implemented on Raw … The results show that
+//! Raw obtains speedup of up to 12 relative to single-tile performance on
+//! ILP benchmarks." This workload lets the Raw simulator reproduce that
+//! scaling claim.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use triarch_simcore::{KernelDemands, SimError};
+
+/// A square single-precision matrix-multiply workload: `C = A × B`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatmulWorkload {
+    n: usize,
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl MatmulWorkload {
+    /// Creates an `n × n` workload with seeded pseudo-random entries in
+    /// `[-1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for `n == 0`.
+    pub fn new(n: usize, seed: u64) -> Result<Self, SimError> {
+        if n == 0 {
+            return Err(SimError::invalid_config("matmul dimension must be non-zero"));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = |_| rng.gen_range(-1.0f32..1.0);
+        let a: Vec<f32> = (0..n * n).map(&mut gen).collect();
+        let b: Vec<f32> = (0..n * n).map(&mut gen).collect();
+        Ok(MatmulWorkload { n, a, b })
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Row-major view of `A`.
+    #[must_use]
+    pub fn a(&self) -> &[f32] {
+        &self.a
+    }
+
+    /// Row-major view of `B`.
+    #[must_use]
+    pub fn b(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// The golden product, computed in `f64` accumulation.
+    #[must_use]
+    pub fn reference_product(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut c = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for k in 0..n {
+                    acc += f64::from(self.a[i * n + k]) * f64::from(self.b[k * n + j]);
+                }
+                c[i * n + j] = acc as f32;
+            }
+        }
+        c
+    }
+
+    /// Flops executed: `2·n³` multiply-adds counted as two ops each.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        2 * (self.n as u64).pow(3)
+    }
+
+    /// Roofline demands: every matrix crosses memory once.
+    #[must_use]
+    pub fn demands(&self) -> KernelDemands {
+        let words = 3 * (self.n * self.n) as u64;
+        KernelDemands { onchip_words: words, offchip_words: words, ops: self.flops() }
+    }
+}
+
+/// Maximum absolute elementwise error between two products.
+#[must_use]
+pub fn max_error(got: &[f32], expected: &[f32]) -> f32 {
+    got.iter().zip(expected).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything() {
+        let mut w = MatmulWorkload::new(3, 0).unwrap();
+        w.a = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        assert_eq!(w.reference_product(), w.b);
+    }
+
+    #[test]
+    fn known_2x2_product() {
+        let mut w = MatmulWorkload::new(2, 0).unwrap();
+        w.a = vec![1.0, 2.0, 3.0, 4.0];
+        w.b = vec![5.0, 6.0, 7.0, 8.0];
+        assert_eq!(w.reference_product(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn flops_and_demands() {
+        let w = MatmulWorkload::new(8, 1).unwrap();
+        assert_eq!(w.flops(), 2 * 512);
+        assert_eq!(w.demands().onchip_words, 3 * 64);
+        assert!(MatmulWorkload::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = MatmulWorkload::new(4, 9).unwrap();
+        let b = MatmulWorkload::new(4, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

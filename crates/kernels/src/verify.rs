@@ -1,0 +1,65 @@
+//! Output verification helpers shared by all machine simulators.
+
+use triarch_fft::Cf32;
+use triarch_simcore::machine::Verification;
+
+/// Compares integer/word outputs; returns [`Verification::BitExact`] when
+/// identical, otherwise [`Verification::Unchecked`].
+#[must_use]
+pub fn verify_words<T: PartialEq>(got: &[T], expected: &[T]) -> Verification {
+    if got.len() == expected.len() && got.iter().zip(expected).all(|(a, b)| a == b) {
+        Verification::BitExact
+    } else {
+        Verification::Unchecked
+    }
+}
+
+/// Compares complex outputs, returning the maximum absolute elementwise
+/// error as [`Verification::MaxError`]. A length mismatch yields
+/// [`Verification::Unchecked`].
+#[must_use]
+pub fn verify_complex(got: &[Cf32], expected: &[Cf32]) -> Verification {
+    if got.len() != expected.len() {
+        return Verification::Unchecked;
+    }
+    let max_err =
+        got.iter().zip(expected).map(|(a, b)| a.max_abs_diff(*b)).fold(0.0f32, f32::max);
+    Verification::MaxError(max_err)
+}
+
+/// Relative tolerance used for CSLC outputs throughout the study.
+///
+/// Different FFT algorithms (radix-2 vs mixed radix-4) accumulate rounding
+/// differently, so machine outputs match the reference to ~1e-3 of the
+/// signal scale rather than bit-exactly.
+pub const CSLC_TOLERANCE: f32 = 5e-3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_bit_exact() {
+        assert_eq!(verify_words(&[1u32, 2, 3], &[1, 2, 3]), Verification::BitExact);
+        assert_eq!(verify_words(&[1u32, 2], &[1, 2, 3]), Verification::Unchecked);
+        assert_eq!(verify_words(&[1u32, 9, 3], &[1, 2, 3]), Verification::Unchecked);
+    }
+
+    #[test]
+    fn complex_max_error() {
+        let a = [Cf32::new(1.0, 0.0), Cf32::new(0.0, 2.0)];
+        let b = [Cf32::new(1.0, 0.001), Cf32::new(0.0, 2.0)];
+        match verify_complex(&a, &b) {
+            Verification::MaxError(e) => assert!((e - 0.001).abs() < 1e-6),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(verify_complex(&a, &b[..1]), Verification::Unchecked);
+    }
+
+    #[test]
+    fn identical_complex_is_zero_error() {
+        let a = [Cf32::new(1.5, -2.5)];
+        assert_eq!(verify_complex(&a, &a), Verification::MaxError(0.0));
+        assert!(verify_complex(&a, &a).is_ok(0.0));
+    }
+}

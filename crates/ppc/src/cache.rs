@@ -1,0 +1,198 @@
+//! Set-associative cache simulator (LRU) for the G4 baseline.
+//!
+//! The corner turn's baseline behaviour — column-strided writes that
+//! alias into a handful of sets and thrash both cache levels — emerges
+//! directly from driving this model with the kernel's real address trace.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in 32-bit words.
+    pub size_words: usize,
+    /// Line size in words.
+    pub line_words: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// PowerPC 7450 L1 data cache: 32 KB, 32-byte lines, 8-way.
+    #[must_use]
+    pub fn g4_l1() -> Self {
+        CacheConfig { size_words: 32 * 1024 / 4, line_words: 8, ways: 8 }
+    }
+
+    /// PowerPC 7450 L2 cache: 256 KB, 64-byte lines, 8-way.
+    #[must_use]
+    pub fn g4_l2() -> Self {
+        CacheConfig { size_words: 256 * 1024 / 4, line_words: 16, ways: 8 }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero or non-dividing).
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        assert!(
+            self.line_words > 0 && self.ways > 0 && self.size_words.is_multiple_of(self.line_words * self.ways),
+            "inconsistent cache geometry"
+        );
+        self.size_words / (self.line_words * self.ways)
+    }
+}
+
+/// One cache level with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    // Per set: tags in LRU order (front = most recent).
+    sets: Vec<Vec<usize>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache { cfg, sets: vec![Vec::with_capacity(cfg.ways); sets], hits: 0, misses: 0 }
+    }
+
+    /// Touches the line containing `word_addr`; returns `true` on a miss.
+    pub fn access(&mut self, word_addr: usize) -> bool {
+        let line = word_addr / self.cfg.line_words;
+        let set = line % self.sets.len();
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            let tag = ways.remove(pos);
+            ways.insert(0, tag);
+            self.hits += 1;
+            false
+        } else {
+            if ways.len() == self.cfg.ways {
+                ways.pop();
+            }
+            ways.insert(0, line);
+            self.misses += 1;
+            true
+        }
+    }
+
+    /// Hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+}
+
+/// A two-level hierarchy: every L1 miss probes L2.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Level-1 data cache.
+    pub l1: Cache,
+    /// Unified level-2 cache.
+    pub l2: Cache,
+}
+
+impl Hierarchy {
+    /// G4 hierarchy (L1 32 KB / L2 256 KB).
+    #[must_use]
+    pub fn g4() -> Self {
+        Hierarchy { l1: Cache::new(CacheConfig::g4_l1()), l2: Cache::new(CacheConfig::g4_l2()) }
+    }
+
+    /// Touches an address through both levels; returns
+    /// `(l1_miss, l2_miss)`.
+    pub fn access(&mut self, word_addr: usize) -> (bool, bool) {
+        let l1_miss = self.l1.access(word_addr);
+        let l2_miss = if l1_miss { self.l2.access(word_addr) } else { false };
+        (l1_miss, l2_miss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::g4_l1().sets(), 128);
+        assert_eq!(CacheConfig::g4_l2().sets(), 512);
+    }
+
+    #[test]
+    fn sequential_reuse_hits() {
+        let mut c = Cache::new(CacheConfig::g4_l1());
+        assert!(c.access(0)); // compulsory miss
+        assert!(!c.access(1)); // same line
+        assert!(!c.access(7));
+        assert!(c.access(8)); // next line
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1 set visible: pick addresses all mapping to set 0.
+        let cfg = CacheConfig { size_words: 16, line_words: 8, ways: 2 };
+        let mut c = Cache::new(cfg);
+        assert_eq!(cfg.sets(), 1);
+        assert!(c.access(0)); // line A
+        assert!(c.access(8)); // line B
+        assert!(!c.access(0)); // A hits, becomes MRU
+        assert!(c.access(16)); // line C evicts B
+        assert!(!c.access(0)); // A still resident
+        assert!(c.access(8)); // B was evicted
+    }
+
+    #[test]
+    fn column_stride_thrashes_power_of_two_sets() {
+        // Writes with a 1024-word stride alias to few sets: far more
+        // misses than the same number of sequential accesses.
+        let mut strided = Cache::new(CacheConfig::g4_l1());
+        let mut seq = Cache::new(CacheConfig::g4_l1());
+        let n = 4096;
+        for r in 0..4 {
+            for c in 0..n {
+                strided.access(c * 1024 + r);
+                seq.access(r * n + c);
+            }
+        }
+        assert!(strided.misses() > 4 * seq.misses());
+    }
+
+    #[test]
+    fn hierarchy_probes_l2_only_on_l1_miss() {
+        let mut h = Hierarchy::g4();
+        assert_eq!(h.access(0), (true, true));
+        assert_eq!(h.access(1), (false, false));
+        // Evict from L1 by thrashing its set; L2 still holds the line.
+        for k in 1..=8 {
+            h.access(k * 1024 * 8 / 8 * 8); // distinct lines, same L1 set region
+        }
+        // Not asserting exact states here — just that the API is sane and
+        // L2 misses never exceed L1 misses.
+        assert!(h.l2.misses() <= h.l1.misses());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn bad_geometry_panics() {
+        let _ = CacheConfig { size_words: 100, line_words: 8, ways: 3 }.sets();
+    }
+}

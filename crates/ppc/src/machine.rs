@@ -1,0 +1,221 @@
+//! Timing accumulator for the G4 baseline: superscalar issue plus
+//! trace-driven cache stalls.
+
+use triarch_simcore::{Cycles, CycleBreakdown, KernelRun, SimError, Verification};
+
+use crate::cache::Hierarchy;
+use crate::config::PpcConfig;
+
+/// Accumulates instruction counts and cache stalls for one kernel run.
+#[derive(Debug, Clone)]
+pub struct PpcMachine {
+    cfg: PpcConfig,
+    hier: Hierarchy,
+    instrs: u64,
+    serial_cycles: u64,
+    trig_calls: u64,
+    load_stall: u64,
+    store_stall: u64,
+    ops: u64,
+    mem_words: u64,
+}
+
+impl PpcMachine {
+    /// Builds the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
+    pub fn new(cfg: &PpcConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        Ok(PpcMachine {
+            cfg: cfg.clone(),
+            hier: Hierarchy::g4(),
+            instrs: 0,
+            serial_cycles: 0,
+            trig_calls: 0,
+            load_stall: 0,
+            store_stall: 0,
+            ops: 0,
+            mem_words: 0,
+        })
+    }
+
+    /// Issues `n` independent instructions (retire at the configured IPC).
+    pub fn issue(&mut self, n: u64) {
+        self.instrs += n;
+    }
+
+    /// Issues `n` dependent operations (a serial chain: one per cycle).
+    pub fn serial_ops(&mut self, n: u64) {
+        self.serial_cycles += n;
+        self.ops += n;
+    }
+
+    /// Counts `n` arithmetic operations that issue superscalar.
+    pub fn alu_ops(&mut self, n: u64) {
+        self.instrs += n;
+        self.ops += n;
+    }
+
+    /// Counts `n` AltiVec vector operations (each is one instruction but
+    /// `vector_lanes` arithmetic results).
+    pub fn vector_ops(&mut self, n: u64) {
+        self.instrs += n;
+        self.ops += n * self.cfg.vector_lanes as u64;
+    }
+
+    /// Issues `n` dependent AltiVec operations (serial chain, one per
+    /// cycle, `vector_lanes` results each).
+    pub fn serial_vector_ops(&mut self, n: u64) {
+        self.serial_cycles += n;
+        self.ops += n * self.cfg.vector_lanes as u64;
+    }
+
+    /// Scalar trigonometric library calls.
+    pub fn trig(&mut self, n: u64) {
+        self.trig_calls += n;
+    }
+
+    /// A load from `word_addr`: one issue slot plus any cache stalls.
+    pub fn load(&mut self, word_addr: usize) {
+        self.instrs += 1;
+        self.mem_words += 1;
+        let (l1, l2) = self.hier.access(word_addr);
+        if l1 {
+            self.load_stall += self.cfg.l1_miss_penalty;
+        }
+        if l2 {
+            self.load_stall += self.cfg.l2_load_miss_penalty;
+        }
+    }
+
+    /// A store to `word_addr`: one issue slot; misses cost the (buffered)
+    /// write-allocate penalty only when they reach memory.
+    pub fn store(&mut self, word_addr: usize) {
+        self.instrs += 1;
+        self.mem_words += 1;
+        let (_, l2) = self.hier.access(word_addr);
+        if l2 {
+            self.store_stall += self.cfg.l2_store_miss_penalty;
+        }
+    }
+
+    /// A 4-lane vector load (one instruction touching `lanes` words).
+    pub fn vector_load(&mut self, word_addr: usize) {
+        self.instrs += 1;
+        self.mem_words += self.cfg.vector_lanes as u64;
+        let (l1, l2) = self.hier.access(word_addr);
+        if l1 {
+            self.load_stall += self.cfg.l1_miss_penalty;
+        }
+        if l2 {
+            self.load_stall += self.cfg.l2_load_miss_penalty;
+        }
+    }
+
+    /// A 4-lane vector store.
+    pub fn vector_store(&mut self, word_addr: usize) {
+        self.instrs += 1;
+        self.mem_words += self.cfg.vector_lanes as u64;
+        let (_, l2) = self.hier.access(word_addr);
+        if l2 {
+            self.store_stall += self.cfg.l2_store_miss_penalty;
+        }
+    }
+
+    /// Total cycles so far.
+    #[must_use]
+    pub fn cycles(&self) -> Cycles {
+        let issue = (self.instrs as f64 / self.cfg.ipc).ceil() as u64;
+        Cycles::new(
+            issue
+                + self.serial_cycles
+                + self.trig_calls * self.cfg.trig_cycles
+                + self.load_stall
+                + self.store_stall,
+        )
+    }
+
+    /// Consumes the machine into a [`KernelRun`].
+    #[must_use]
+    pub fn finish(self, verification: Verification) -> KernelRun {
+        let mut breakdown = CycleBreakdown::new();
+        let issue = (self.instrs as f64 / self.cfg.ipc).ceil() as u64;
+        breakdown.charge("issue", Cycles::new(issue));
+        breakdown.charge("serial", Cycles::new(self.serial_cycles));
+        breakdown.charge("libm", Cycles::new(self.trig_calls * self.cfg.trig_cycles));
+        breakdown.charge("load-stall", Cycles::new(self.load_stall));
+        breakdown.charge("store-stall", Cycles::new(self.store_stall));
+        KernelRun {
+            cycles: breakdown.total(),
+            breakdown,
+            ops_executed: self.ops,
+            mem_words: self.mem_words,
+            verification,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_respects_ipc() {
+        let mut m = PpcMachine::new(&PpcConfig::paper()).unwrap();
+        m.issue(100);
+        assert_eq!(m.cycles().get(), 50);
+        m.serial_ops(10);
+        assert_eq!(m.cycles().get(), 60);
+    }
+
+    #[test]
+    fn loads_pay_cache_stalls() {
+        let mut m = PpcMachine::new(&PpcConfig::paper()).unwrap();
+        m.load(0); // L1 + L2 miss
+        let first = m.cycles().get();
+        m.load(1); // same line: hit
+        let second = m.cycles().get();
+        assert!(first > 1);
+        // Second load adds only its issue slot.
+        assert_eq!(second - first, 0);
+        m.issue(1);
+        assert_eq!(m.cycles().get(), second + 1);
+    }
+
+    #[test]
+    fn stores_use_buffered_penalty() {
+        let cfg = PpcConfig::paper();
+        let mut m = PpcMachine::new(&cfg).unwrap();
+        m.store(0);
+        assert_eq!(m.cycles().get(), 1 + cfg.l2_store_miss_penalty);
+    }
+
+    #[test]
+    fn trig_is_expensive() {
+        let cfg = PpcConfig::paper();
+        let mut m = PpcMachine::new(&cfg).unwrap();
+        m.trig(10);
+        assert_eq!(m.cycles().get(), 10 * cfg.trig_cycles);
+    }
+
+    #[test]
+    fn vector_ops_count_lanes() {
+        let mut m = PpcMachine::new(&PpcConfig::paper()).unwrap();
+        m.vector_ops(3);
+        let run = m.finish(Verification::Unchecked);
+        assert_eq!(run.ops_executed, 12);
+    }
+
+    #[test]
+    fn finish_breaks_down_costs() {
+        let mut m = PpcMachine::new(&PpcConfig::paper()).unwrap();
+        m.issue(10);
+        m.load(0);
+        let run = m.finish(Verification::BitExact);
+        assert!(run.breakdown.get("issue").get() > 0);
+        assert!(run.breakdown.get("load-stall").get() > 0);
+        assert_eq!(run.cycles, run.breakdown.total());
+    }
+}

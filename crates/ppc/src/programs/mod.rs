@@ -1,0 +1,15 @@
+//! Baseline kernel implementations: compiler-style scalar code and
+//! hand-inserted AltiVec vector code (paper Sections 4.1 and 4.5).
+
+pub mod beam_steering;
+pub mod corner_turn;
+pub mod cslc;
+
+/// Which G4 code path to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Plain compiler-generated scalar code.
+    Scalar,
+    /// Manually inserted AltiVec vector instructions.
+    Altivec,
+}

@@ -1,0 +1,343 @@
+//! The Raw execution engine: tiles, networks, ports, and phase accounting.
+//!
+//! Kernel programs execute functionally against off-chip memory and
+//! per-tile local stores, while recording per-tile instruction counts and
+//! stalls. Work proceeds in *phases* (a round of blocks, a batch of
+//! sub-bands); a phase completes when its slowest resource does:
+//! `max(slowest tile, DRAM-port occupancy, network occupancy)`.
+
+use triarch_simcore::{
+    AccessPattern, Cycles, CycleBreakdown, DramModel, KernelRun, SimError, Verification,
+    WordMemory,
+};
+
+use crate::config::RawConfig;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TileCounters {
+    issue: u64,
+    stall: u64,
+    net_words: u64,
+}
+
+/// The Raw machine state.
+#[derive(Debug, Clone)]
+pub struct RawMachine {
+    cfg: RawConfig,
+    dram: DramModel,
+    mem: WordMemory,
+    locals: Vec<WordMemory>,
+    tiles: Vec<TileCounters>,
+    phase_mem: u64,
+    phase_mem_overhead: u64,
+    breakdown: CycleBreakdown,
+    ops: u64,
+    mem_words: u64,
+    in_phase: bool,
+}
+
+impl RawMachine {
+    /// Builds the machine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
+    pub fn new(cfg: &RawConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        Ok(RawMachine {
+            dram: DramModel::new(cfg.dram)?,
+            mem: WordMemory::new(cfg.mem_words),
+            locals: vec![WordMemory::new(cfg.local_words); cfg.tiles()],
+            tiles: vec![TileCounters::default(); cfg.tiles()],
+            phase_mem: 0,
+            phase_mem_overhead: 0,
+            breakdown: CycleBreakdown::new(),
+            ops: 0,
+            mem_words: 0,
+            in_phase: false,
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// Off-chip memory for workload setup and result extraction.
+    pub fn memory_mut(&mut self) -> &mut WordMemory {
+        &mut self.mem
+    }
+
+    /// Immutable off-chip memory view.
+    #[must_use]
+    pub fn memory(&self) -> &WordMemory {
+        &self.mem
+    }
+
+    /// A tile's local store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an out-of-range tile.
+    pub fn local_mut(&mut self, tile: usize) -> Result<&mut WordMemory, SimError> {
+        self.locals
+            .get_mut(tile)
+            .ok_or_else(|| SimError::invalid_config(format!("tile {tile} out of range")))
+    }
+
+    fn tile_mut(&mut self, tile: usize) -> Result<&mut TileCounters, SimError> {
+        self.tiles
+            .get_mut(tile)
+            .ok_or_else(|| SimError::invalid_config(format!("tile {tile} out of range")))
+    }
+
+    /// Opens a phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unsupported`] if one is already open.
+    pub fn begin_phase(&mut self) -> Result<(), SimError> {
+        if self.in_phase {
+            return Err(SimError::unsupported("nested raw phases"));
+        }
+        self.in_phase = true;
+        self.tiles.iter_mut().for_each(|t| *t = TileCounters::default());
+        self.phase_mem = 0;
+        self.phase_mem_overhead = 0;
+        Ok(())
+    }
+
+    /// Charges instruction-issue slots on a tile (compute, loads, stores,
+    /// address arithmetic — everything retires at one per cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for an out-of-range tile or no open phase.
+    pub fn tile_issue(&mut self, tile: usize, instrs: u64) -> Result<(), SimError> {
+        self.check_phase()?;
+        self.tile_mut(tile)?.issue += instrs;
+        Ok(())
+    }
+
+    /// Counts arithmetic operations for utilization reporting (does not
+    /// consume issue slots by itself — pair with [`tile_issue`](Self::tile_issue)).
+    pub fn count_ops(&mut self, ops: u64) {
+        self.ops += ops;
+    }
+
+    /// Charges exposed stall cycles on a tile (cache misses, waits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for an out-of-range tile or no open phase.
+    pub fn tile_stall(&mut self, tile: usize, cycles: u64) -> Result<(), SimError> {
+        self.check_phase()?;
+        self.tile_mut(tile)?.stall += cycles;
+        Ok(())
+    }
+
+    /// Charges static-network occupancy on a tile: `words` at one word
+    /// per cycle per link, after an initial `nn_latency + hops` fill.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for an out-of-range tile or no open phase.
+    pub fn tile_net_words(&mut self, tile: usize, words: u64, hops: u64) -> Result<(), SimError> {
+        self.check_phase()?;
+        let latency = self.cfg.nn_latency + self.cfg.hop_latency * hops.saturating_sub(1);
+        let t = self.tile_mut(tile)?;
+        t.net_words += words;
+        // The pipeline-fill latency is exposed once per stream.
+        t.stall += latency;
+        Ok(())
+    }
+
+    fn check_phase(&self) -> Result<(), SimError> {
+        if self.in_phase {
+            Ok(())
+        } else {
+            Err(SimError::unsupported("raw tile activity outside a phase"))
+        }
+    }
+
+    /// Performs a DRAM port transfer (functionally moving nothing — pair
+    /// with explicit memory reads/writes) and accrues port occupancy for
+    /// the current phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on bad patterns or no open phase.
+    pub fn dram_traffic(
+        &mut self,
+        addr: usize,
+        words: usize,
+        pattern: AccessPattern,
+    ) -> Result<(), SimError> {
+        self.check_phase()?;
+        let cost = self.dram.transfer(addr, words, pattern)?;
+        self.mem_words += words as u64;
+        self.phase_mem += (cost.data + cost.startup).get();
+        self.phase_mem_overhead += cost.overhead.get();
+        Ok(())
+    }
+
+    /// Closes a phase. The phase costs `max(slowest tile, port occupancy,
+    /// network occupancy) + phase_startup`. When `balanced` is set, the
+    /// tile bound uses the *average* tile time instead of the maximum —
+    /// the paper's perfect-load-balance extrapolation for CSLC — and the
+    /// removed idle time is recorded in the `"imbalance-removed"`
+    /// category of [`RawMachine::stats`] (not counted in the total).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unsupported`] if no phase is open.
+    pub fn end_phase(&mut self, balanced: bool) -> Result<(), SimError> {
+        if !self.in_phase {
+            return Err(SimError::unsupported("end_phase without begin_phase"));
+        }
+        self.in_phase = false;
+
+        let totals: Vec<u64> = self.tiles.iter().map(|t| t.issue + t.stall).collect();
+        let max_tile = totals.iter().copied().max().unwrap_or(0);
+        let avg_tile = if totals.is_empty() {
+            0
+        } else {
+            totals.iter().sum::<u64>().div_ceil(totals.len() as u64)
+        };
+        let tile_bound = if balanced { avg_tile } else { max_tile };
+        let net_bound = self.tiles.iter().map(|t| t.net_words).max().unwrap_or(0);
+        let mem_bound = self.phase_mem + self.phase_mem_overhead;
+
+        // Attribute the phase to its binding resource; startup separately.
+        // The charges below always sum to
+        // max(tile_bound, net_bound, mem_bound) + phase_startup.
+        if tile_bound >= net_bound && tile_bound >= mem_bound {
+            let issue: u64 = if balanced {
+                self.tiles.iter().map(|t| t.issue).sum::<u64>() / totals.len().max(1) as u64
+            } else {
+                self.tiles.iter().map(|t| t.issue).max().unwrap_or(0)
+            };
+            let stall = tile_bound - issue.min(tile_bound);
+            self.breakdown.charge("issue", Cycles::new(issue.min(tile_bound)));
+            self.breakdown.charge("stall", Cycles::new(stall));
+        } else if mem_bound >= net_bound {
+            self.breakdown.charge("memory", Cycles::new(self.phase_mem));
+            self.breakdown.charge("precharge", Cycles::new(self.phase_mem_overhead));
+        } else {
+            self.breakdown.charge("network", Cycles::new(net_bound));
+        }
+        self.breakdown.charge("startup", Cycles::new(self.cfg.phase_startup));
+        Ok(())
+    }
+
+    /// Total cycles charged so far.
+    #[must_use]
+    pub fn cycles(&self) -> Cycles {
+        self.breakdown.total()
+    }
+
+    /// Consumes the machine into a [`KernelRun`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unsupported`] if a phase is still open.
+    pub fn finish(self, verification: Verification) -> Result<KernelRun, SimError> {
+        if self.in_phase {
+            return Err(SimError::unsupported("finish with open phase"));
+        }
+        Ok(KernelRun {
+            cycles: self.breakdown.total(),
+            breakdown: self.breakdown,
+            ops_executed: self.ops,
+            mem_words: self.mem_words,
+            verification,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> RawMachine {
+        RawMachine::new(&RawConfig::paper()).unwrap()
+    }
+
+    #[test]
+    fn phase_takes_slowest_tile() {
+        let mut m = machine();
+        m.begin_phase().unwrap();
+        m.tile_issue(0, 100).unwrap();
+        m.tile_issue(1, 500).unwrap();
+        m.end_phase(false).unwrap();
+        let total = m.cycles().get();
+        assert_eq!(total, 500 + RawConfig::paper().phase_startup);
+    }
+
+    #[test]
+    fn balanced_phase_uses_average() {
+        let mut m = machine();
+        m.begin_phase().unwrap();
+        m.tile_issue(0, 1_600).unwrap(); // one busy tile
+        m.end_phase(true).unwrap();
+        // 1600 / 16 tiles = 100 average.
+        assert_eq!(m.cycles().get(), 100 + RawConfig::paper().phase_startup);
+    }
+
+    #[test]
+    fn memory_bound_phase_charges_memory() {
+        let mut m = machine();
+        m.begin_phase().unwrap();
+        m.tile_issue(0, 10).unwrap();
+        m.dram_traffic(0, 28_000, AccessPattern::Sequential).unwrap();
+        m.end_phase(false).unwrap();
+        assert!(m.cycles().get() >= 1_000);
+        assert!(m.breakdown_get("memory") >= 1_000);
+    }
+
+    impl RawMachine {
+        fn breakdown_get(&self, cat: &str) -> u64 {
+            self.breakdown.get(cat).get()
+        }
+    }
+
+    #[test]
+    fn network_stream_charges_occupancy_and_latency() {
+        let mut m = machine();
+        m.begin_phase().unwrap();
+        m.tile_net_words(3, 1_000, 4).unwrap();
+        m.end_phase(false).unwrap();
+        // 1000 words at 1/cycle bound the phase; the fill latency appears
+        // as a tile stall (3 + 3 extra hops = 6 cycles here).
+        assert!(m.cycles().get() >= 1_000);
+    }
+
+    #[test]
+    fn misuse_is_typed_error() {
+        let mut m = machine();
+        assert!(m.tile_issue(0, 1).is_err()); // outside phase
+        assert!(m.end_phase(false).is_err());
+        m.begin_phase().unwrap();
+        assert!(m.begin_phase().is_err());
+        assert!(m.tile_issue(99, 1).is_err());
+        assert!(m.clone().finish(Verification::Unchecked).is_err());
+        m.end_phase(false).unwrap();
+    }
+
+    #[test]
+    fn network_bound_phase_charges_network() {
+        let mut m = machine();
+        m.begin_phase().unwrap();
+        m.tile_issue(0, 5).unwrap();
+        m.tile_net_words(1, 50_000, 2).unwrap();
+        m.end_phase(false).unwrap();
+        assert!(m.breakdown_get("network") >= 50_000);
+        assert_eq!(m.breakdown_get("issue"), 0);
+    }
+
+    #[test]
+    fn locals_are_per_tile() {
+        let mut m = machine();
+        m.local_mut(0).unwrap().write_u32(0, 7).unwrap();
+        m.local_mut(1).unwrap().write_u32(0, 9).unwrap();
+        assert_eq!(m.local_mut(0).unwrap().read_u32(0).unwrap(), 7);
+        assert_eq!(m.local_mut(1).unwrap().read_u32(0).unwrap(), 9);
+        assert!(m.local_mut(99).is_err());
+    }
+}

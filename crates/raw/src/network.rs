@@ -1,0 +1,241 @@
+//! Raw's on-chip networks (paper Section 2.3).
+//!
+//! "The Raw has four networks: two static networks and two dynamic
+//! networks. Communication on the static networks is performed by a
+//! switch processor in each tile … one word per cycle with a latency of
+//! three cycles between nearest neighbor tiles. One additional cycle of
+//! latency is added for each hop … When the dynamic network is used, data
+//! is sent to another tile in a packet. A packet contains header and
+//! data. If the data is smaller than a packet, dummy data is added to
+//! make a packet."
+
+use triarch_simcore::SimError;
+
+/// A tile position in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileId {
+    /// Column (x) position.
+    pub x: usize,
+    /// Row (y) position.
+    pub y: usize,
+}
+
+impl TileId {
+    /// Builds a tile id from a linear index in a `width`-wide mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an out-of-range index.
+    pub fn from_index(index: usize, width: usize) -> Result<Self, SimError> {
+        if width == 0 || index >= width * width {
+            return Err(SimError::invalid_config(format!(
+                "tile index {index} outside {width}x{width} mesh"
+            )));
+        }
+        Ok(TileId { x: index % width, y: index / width })
+    }
+
+    /// The linear index of this tile in a `width`-wide mesh.
+    #[must_use]
+    pub fn index(&self, width: usize) -> usize {
+        self.y * width + self.x
+    }
+
+    /// Manhattan distance (hop count) to another tile.
+    #[must_use]
+    pub fn hops_to(&self, other: TileId) -> usize {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+/// The static network model: dimension-ordered (X then Y) routes with
+/// per-link occupancy accounting.
+#[derive(Debug, Clone)]
+pub struct StaticNetwork {
+    width: usize,
+    nn_latency: u64,
+    hop_latency: u64,
+    /// Occupancy (words) per directed link, indexed `[from][to-direction]`
+    /// flattened as `from * 4 + dir` (0=E, 1=W, 2=S, 3=N).
+    link_words: Vec<u64>,
+}
+
+impl StaticNetwork {
+    /// Builds a network for a `width`-wide mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a zero-width mesh.
+    pub fn new(width: usize, nn_latency: u64, hop_latency: u64) -> Result<Self, SimError> {
+        if width == 0 {
+            return Err(SimError::invalid_config("mesh width must be non-zero"));
+        }
+        Ok(StaticNetwork {
+            width,
+            nn_latency,
+            hop_latency,
+            link_words: vec![0; width * width * 4],
+        })
+    }
+
+    /// Latency of the first word of a stream from `src` to `dst`.
+    #[must_use]
+    pub fn latency(&self, src: TileId, dst: TileId) -> u64 {
+        let hops = src.hops_to(dst) as u64;
+        if hops == 0 {
+            return 0;
+        }
+        self.nn_latency + self.hop_latency * (hops - 1)
+    }
+
+    /// Records a stream of `words` along the dimension-ordered route and
+    /// returns the route's hop count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for tiles outside the mesh.
+    pub fn send(&mut self, src: TileId, dst: TileId, words: u64) -> Result<usize, SimError> {
+        for t in [src, dst] {
+            if t.x >= self.width || t.y >= self.width {
+                return Err(SimError::invalid_config(format!(
+                    "tile ({}, {}) outside {0}x{0} mesh", t.x, t.y
+                )));
+            }
+        }
+        let mut cur = src;
+        let mut hops = 0;
+        // X first, then Y (dimension-ordered, deadlock free).
+        while cur.x != dst.x {
+            let dir = if dst.x > cur.x { 0 } else { 1 };
+            self.link_words[cur.index(self.width) * 4 + dir] += words;
+            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            hops += 1;
+        }
+        while cur.y != dst.y {
+            let dir = if dst.y > cur.y { 2 } else { 3 };
+            self.link_words[cur.index(self.width) * 4 + dir] += words;
+            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            hops += 1;
+        }
+        Ok(hops)
+    }
+
+    /// The busiest link's total words — a lower bound on the cycles any
+    /// schedule needs to drain the recorded traffic at 1 word/cycle/link.
+    #[must_use]
+    pub fn max_link_words(&self) -> u64 {
+        self.link_words.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Clears recorded traffic.
+    pub fn reset(&mut self) {
+        self.link_words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+/// Dynamic-network packet accounting: header word plus payload, padded to
+/// the minimum packet size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketFormat {
+    /// Header words per packet.
+    pub header_words: u64,
+    /// Minimum payload words (short messages are padded up).
+    pub min_payload_words: u64,
+    /// Maximum payload words (longer messages split).
+    pub max_payload_words: u64,
+}
+
+impl PacketFormat {
+    /// The Raw dynamic network's format: 1 header word, payload padded to
+    /// at least 2 words and split at 31 words.
+    #[must_use]
+    pub fn raw_dynamic() -> Self {
+        PacketFormat { header_words: 1, min_payload_words: 2, max_payload_words: 31 }
+    }
+
+    /// Total words on the wire for a `payload_words` message, including
+    /// headers and padding across however many packets it takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format is degenerate (`max_payload_words == 0`).
+    #[must_use]
+    pub fn wire_words(&self, payload_words: u64) -> u64 {
+        assert!(self.max_payload_words > 0, "degenerate packet format");
+        if payload_words == 0 {
+            return 0;
+        }
+        let packets = payload_words.div_ceil(self.max_payload_words);
+        let last_payload = payload_words - (packets - 1) * self.max_payload_words;
+        let padded_last = last_payload.max(self.min_payload_words);
+        self.header_words * packets
+            + (packets - 1) * self.max_payload_words
+            + padded_last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_ids_and_hops() {
+        let a = TileId::from_index(0, 4).unwrap();
+        let b = TileId::from_index(15, 4).unwrap();
+        assert_eq!(b, TileId { x: 3, y: 3 });
+        assert_eq!(a.hops_to(b), 6);
+        assert_eq!(b.index(4), 15);
+        assert!(TileId::from_index(16, 4).is_err());
+        assert!(TileId::from_index(0, 0).is_err());
+    }
+
+    #[test]
+    fn latency_matches_paper_rule() {
+        // 3 cycles nearest-neighbour, +1 per extra hop.
+        let net = StaticNetwork::new(4, 3, 1).unwrap();
+        let a = TileId { x: 0, y: 0 };
+        assert_eq!(net.latency(a, TileId { x: 1, y: 0 }), 3);
+        assert_eq!(net.latency(a, TileId { x: 2, y: 0 }), 4);
+        assert_eq!(net.latency(a, TileId { x: 3, y: 3 }), 8);
+        assert_eq!(net.latency(a, a), 0);
+    }
+
+    #[test]
+    fn dimension_ordered_routing_counts_hops() {
+        let mut net = StaticNetwork::new(4, 3, 1).unwrap();
+        let hops =
+            net.send(TileId { x: 0, y: 0 }, TileId { x: 2, y: 3 }, 10).unwrap();
+        assert_eq!(hops, 5);
+        assert_eq!(net.max_link_words(), 10);
+        net.reset();
+        assert_eq!(net.max_link_words(), 0);
+    }
+
+    #[test]
+    fn contended_link_accumulates() {
+        let mut net = StaticNetwork::new(4, 3, 1).unwrap();
+        // Two streams crossing the same first link (0,0)->(1,0).
+        net.send(TileId { x: 0, y: 0 }, TileId { x: 3, y: 0 }, 5).unwrap();
+        net.send(TileId { x: 0, y: 0 }, TileId { x: 1, y: 0 }, 7).unwrap();
+        assert_eq!(net.max_link_words(), 12);
+    }
+
+    #[test]
+    fn out_of_mesh_send_is_error() {
+        let mut net = StaticNetwork::new(2, 3, 1).unwrap();
+        assert!(net.send(TileId { x: 0, y: 0 }, TileId { x: 5, y: 0 }, 1).is_err());
+    }
+
+    #[test]
+    fn packet_padding_and_splitting() {
+        let fmt = PacketFormat::raw_dynamic();
+        assert_eq!(fmt.wire_words(0), 0);
+        // 1 payload word pads to 2, plus 1 header = 3.
+        assert_eq!(fmt.wire_words(1), 3);
+        assert_eq!(fmt.wire_words(2), 3);
+        // 31 words fit one packet: 31 + 1 header.
+        assert_eq!(fmt.wire_words(31), 32);
+        // 32 words split into 31 + 1(->2 padded), 2 headers.
+        assert_eq!(fmt.wire_words(32), 31 + 2 + 2);
+    }
+}

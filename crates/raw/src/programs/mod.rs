@@ -1,0 +1,7 @@
+//! Kernel programs for Raw (paper Section 3): MIMD (CSLC), stream-mode
+//! (beam steering), and the choreographed blocked corner turn.
+
+pub mod beam_steering;
+pub mod corner_turn;
+pub mod cslc;
+pub mod matmul;

@@ -1,0 +1,274 @@
+//! Strongly-typed cycle counts and clock frequencies.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A count of processor clock cycles.
+///
+/// All simulators in this workspace report time in `Cycles`; conversion to
+/// wall-clock time (Figure 9 of the paper) goes through [`ClockFrequency`].
+///
+/// # Example
+///
+/// ```
+/// use triarch_simcore::Cycles;
+///
+/// let a = Cycles::new(100) + Cycles::new(46);
+/// assert_eq!(a.get(), 146);
+/// assert_eq!(a.to_kilocycles(), 0.146);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// The zero cycle count.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[must_use]
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the count in kilocycles (the unit of the paper's Table 3).
+    #[must_use]
+    pub fn to_kilocycles(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction; clamps at zero instead of underflowing.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns `self / rhs` as a ratio of raw counts.
+    ///
+    /// Returns `f64::INFINITY` when `rhs` is zero and `self` is non-zero,
+    /// and `f64::NAN` when both are zero.
+    #[must_use]
+    pub fn ratio(self, rhs: Cycles) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+
+    /// Multiplies by a floating-point scale, rounding to the nearest cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `scale` is negative or non-finite.
+    #[must_use]
+    pub fn scale(self, scale: f64) -> Cycles {
+        debug_assert!(scale.is_finite() && scale >= 0.0, "invalid cycle scale");
+        Cycles((self.0 as f64 * scale).round() as u64)
+    }
+
+    /// The larger of two cycle counts.
+    #[must_use]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.max(rhs.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render with thousands separators: 1234567 -> "1,234,567".
+        let digits = self.0.to_string();
+        let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+        for (i, ch) in digits.chars().enumerate() {
+            if i > 0 && (digits.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(ch);
+        }
+        f.write_str(&out)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |acc, c| acc + c)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(n: u64) -> Cycles {
+        Cycles(n)
+    }
+}
+
+/// A processor clock frequency.
+///
+/// # Example
+///
+/// ```
+/// use triarch_simcore::{ClockFrequency, Cycles};
+///
+/// let raw = ClockFrequency::from_mhz(300.0);
+/// assert_eq!(raw.mhz(), 300.0);
+/// let t = raw.cycles_to_seconds(Cycles::new(300_000_000));
+/// assert!((t - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ClockFrequency {
+    mhz: f64,
+}
+
+impl ClockFrequency {
+    /// Creates a frequency from megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not strictly positive and finite.
+    #[must_use]
+    pub fn from_mhz(mhz: f64) -> Self {
+        assert!(mhz.is_finite() && mhz > 0.0, "clock frequency must be positive");
+        ClockFrequency { mhz }
+    }
+
+    /// The frequency in MHz.
+    #[must_use]
+    pub fn mhz(self) -> f64 {
+        self.mhz
+    }
+
+    /// The frequency in Hz.
+    #[must_use]
+    pub fn hz(self) -> f64 {
+        self.mhz * 1e6
+    }
+
+    /// Converts a cycle count to seconds at this frequency.
+    #[must_use]
+    pub fn cycles_to_seconds(self, cycles: Cycles) -> f64 {
+        cycles.get() as f64 / self.hz()
+    }
+
+    /// Converts a cycle count to milliseconds at this frequency.
+    #[must_use]
+    pub fn cycles_to_millis(self, cycles: Cycles) -> f64 {
+        self.cycles_to_seconds(cycles) * 1e3
+    }
+}
+
+impl fmt::Display for ClockFrequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz", self.mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(4);
+        assert_eq!((a + b).get(), 14);
+        assert_eq!((a - b).get(), 6);
+        assert_eq!((a * 3).get(), 30);
+        assert_eq!((a / 2).get(), 5);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.get(), 14);
+        c -= b;
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn cycles_saturating_sub_clamps() {
+        assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(5)), Cycles::ZERO);
+        assert_eq!(Cycles::new(5).saturating_sub(Cycles::new(3)).get(), 2);
+    }
+
+    #[test]
+    fn cycles_sum() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total.get(), 10);
+    }
+
+    #[test]
+    fn cycles_display_has_separators() {
+        assert_eq!(Cycles::new(1_234_567).to_string(), "1,234,567");
+        assert_eq!(Cycles::new(999).to_string(), "999");
+        assert_eq!(Cycles::new(0).to_string(), "0");
+        assert_eq!(Cycles::new(1_000).to_string(), "1,000");
+    }
+
+    #[test]
+    fn cycles_ratio_and_scale() {
+        assert_eq!(Cycles::new(300).ratio(Cycles::new(100)), 3.0);
+        assert_eq!(Cycles::new(100).scale(1.5).get(), 150);
+        assert_eq!(Cycles::new(3).scale(0.5).get(), 2); // rounds to nearest even is fine: 1.5 -> 2
+    }
+
+    #[test]
+    fn kilocycles_matches_table_units() {
+        assert_eq!(Cycles::new(554_000).to_kilocycles(), 554.0);
+    }
+
+    #[test]
+    fn clock_conversions() {
+        let c = ClockFrequency::from_mhz(1000.0);
+        assert_eq!(c.hz(), 1e9);
+        assert!((c.cycles_to_millis(Cycles::new(34_250_000)) - 34.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn clock_rejects_zero() {
+        let _ = ClockFrequency::from_mhz(0.0);
+    }
+
+    #[test]
+    fn cycles_max() {
+        assert_eq!(Cycles::new(3).max(Cycles::new(7)).get(), 7);
+    }
+}

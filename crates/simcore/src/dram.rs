@@ -1,0 +1,580 @@
+//! Banked DRAM timing model with open-row tracking.
+//!
+//! This model is the workhorse behind every memory system in the study:
+//! VIRAM's on-chip DRAM (2 wings × 4 banks behind a 256-bit crossbar),
+//! Imagine's and Raw's off-chip SDRAM, and the G4's main memory.
+//!
+//! The model is a word-granularity timing simulation: a transfer walks its
+//! address stream in per-cycle groups (group width = the words-per-cycle
+//! throughput of the interface, further limited by the number of address
+//! generators for strided streams). Each word maps to a `(bank, row)`; a
+//! word that touches a bank whose open row differs must wait for a
+//! precharge + activate, and the bank is busy until the activate completes.
+//! Open rows persist across transfers, so blocked access patterns that
+//! revisit rows (the paper's corner-turn optimizations) pay the row costs
+//! only once — exactly the effect the paper exploits.
+
+use crate::cycles::Cycles;
+use crate::error::SimError;
+
+/// How a transfer walks the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Consecutive word addresses (unit stride).
+    Sequential,
+    /// Fixed non-unit stride in words between consecutive elements.
+    Strided {
+        /// Distance in words between consecutive elements; must be non-zero.
+        stride_words: usize,
+    },
+    /// Short sequential chunks separated by a fixed stride — the pattern
+    /// of Imagine's corner-turn output stream ("the eight words in a block
+    /// are written sequentially, but the blocks are written with a
+    /// non-unit stride").
+    Chunked {
+        /// Words per sequential chunk; must be non-zero.
+        chunk_words: usize,
+        /// Distance in words between chunk starts; must be non-zero.
+        stride_words: usize,
+    },
+}
+
+/// Configuration of a banked DRAM interface.
+///
+/// # Example
+///
+/// ```
+/// use triarch_simcore::DramConfig;
+///
+/// let cfg = DramConfig::viram_onchip();
+/// assert_eq!(cfg.banks, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of independently-operating banks.
+    pub banks: usize,
+    /// Words in one DRAM row (page) of one bank.
+    pub row_words: usize,
+    /// Consecutive words mapped to one bank before rotating to the next.
+    pub interleave_words: usize,
+    /// Cycles to precharge a bank.
+    pub t_precharge: u64,
+    /// Cycles from activate to first column access.
+    pub t_activate: u64,
+    /// Pipeline-fill cycles charged once per transfer (CAS latency etc.).
+    pub t_startup: u64,
+    /// Peak words per cycle for unit-stride bursts.
+    pub seq_words_per_cycle: u32,
+    /// Peak words per cycle for strided streams (address-generator limit).
+    pub strided_words_per_cycle: u32,
+    /// Number of wings the banks are split across (VIRAM: 2). A wing owns
+    /// a contiguous `wing_words` slice of the address space and its own
+    /// subset of banks, so streams in different wings never conflict.
+    pub wings: usize,
+    /// Words per wing; ignored (may be 0) when `wings == 1`.
+    pub wing_words: usize,
+}
+
+impl DramConfig {
+    /// VIRAM's on-chip DRAM: 2 wings × 4 banks, 256-bit (8-word) path,
+    /// 4 address generators ⇒ 4 strided words/cycle (paper Section 2.1).
+    #[must_use]
+    pub fn viram_onchip() -> Self {
+        DramConfig {
+            banks: 8,
+            row_words: 2048,
+            interleave_words: 8,
+            t_precharge: 6,
+            t_activate: 8,
+            t_startup: 0,
+            seq_words_per_cycle: 8,
+            strided_words_per_cycle: 4,
+            wings: 2,
+            wing_words: 13 * 1024 * 1024 / 4 / 2,
+        }
+    }
+
+    /// Imagine's off-chip SDRAM: two memory controllers / address
+    /// generators providing 2 words per cycle aggregate (paper Table 1).
+    /// The controllers reorder accesses, which we reflect with generous
+    /// banking and a modest row cost.
+    #[must_use]
+    pub fn imagine_offchip() -> Self {
+        DramConfig {
+            banks: 4,
+            row_words: 512,
+            interleave_words: 8,
+            t_precharge: 8,
+            t_activate: 10,
+            t_startup: 20,
+            seq_words_per_cycle: 2,
+            strided_words_per_cycle: 2,
+            wings: 1,
+            wing_words: 0,
+        }
+    }
+
+    /// Raw's peripheral DRAM: 16 edge ports; the paper's Table 1 credits
+    /// 28 words/cycle aggregate off-chip bandwidth.
+    #[must_use]
+    pub fn raw_offchip() -> Self {
+        DramConfig {
+            banks: 16,
+            row_words: 2048,
+            interleave_words: 8,
+            t_precharge: 8,
+            t_activate: 10,
+            t_startup: 20,
+            seq_words_per_cycle: 28,
+            strided_words_per_cycle: 14,
+            wings: 1,
+            wing_words: 0,
+        }
+    }
+
+    /// The G4 baseline's main memory: one channel, roughly 1 word per
+    /// (CPU) cycle peak at 1 GHz with long latencies.
+    #[must_use]
+    pub fn ppc_offchip() -> Self {
+        DramConfig {
+            banks: 4,
+            row_words: 512,
+            interleave_words: 8,
+            t_precharge: 20,
+            t_activate: 25,
+            t_startup: 60,
+            seq_words_per_cycle: 1,
+            strided_words_per_cycle: 1,
+            wings: 1,
+            wing_words: 0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.banks == 0 {
+            return Err(SimError::invalid_config("dram banks must be non-zero"));
+        }
+        if self.row_words == 0 {
+            return Err(SimError::invalid_config("dram row_words must be non-zero"));
+        }
+        if self.interleave_words == 0 {
+            return Err(SimError::invalid_config("dram interleave_words must be non-zero"));
+        }
+        if self.seq_words_per_cycle == 0 || self.strided_words_per_cycle == 0 {
+            return Err(SimError::invalid_config("dram words-per-cycle must be non-zero"));
+        }
+        if self.wings == 0 {
+            return Err(SimError::invalid_config("dram wings must be non-zero"));
+        }
+        if !self.banks.is_multiple_of(self.wings) {
+            return Err(SimError::invalid_config("dram banks must divide evenly across wings"));
+        }
+        if self.wings > 1 && self.wing_words == 0 {
+            return Err(SimError::invalid_config("multi-wing dram needs wing_words"));
+        }
+        Ok(())
+    }
+
+    /// Banks owned by each wing.
+    #[must_use]
+    pub fn banks_per_wing(&self) -> usize {
+        self.banks / self.wings.max(1)
+    }
+}
+
+/// The timing outcome of one DRAM transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DramCost {
+    /// Total cycles the transfer occupied the interface.
+    pub total: Cycles,
+    /// Cycles spent moving data at the interface's peak rate.
+    pub data: Cycles,
+    /// Stall cycles caused by precharge/activate (row misses, bank busy).
+    pub overhead: Cycles,
+    /// Per-transfer pipeline-fill cycles.
+    pub startup: Cycles,
+    /// Number of row misses encountered.
+    pub row_misses: u64,
+}
+
+impl DramCost {
+    /// Sums two costs (e.g. a read phase followed by a write phase).
+    #[must_use]
+    pub fn combine(self, other: DramCost) -> DramCost {
+        DramCost {
+            total: self.total + other.total,
+            data: self.data + other.data,
+            overhead: self.overhead + other.overhead,
+            startup: self.startup + other.startup,
+            row_misses: self.row_misses + other.row_misses,
+        }
+    }
+}
+
+/// A banked DRAM with open-row state and per-bank busy times.
+///
+/// # Example
+///
+/// ```
+/// use triarch_simcore::{AccessPattern, DramConfig, DramModel};
+///
+/// # fn main() -> Result<(), triarch_simcore::SimError> {
+/// let mut dram = DramModel::new(DramConfig::viram_onchip())?;
+/// let burst = dram.transfer(0, 4096, AccessPattern::Sequential)?;
+/// // 4096 words at 8 words/cycle = 512 data cycles plus small overheads.
+/// assert_eq!(burst.data.get(), 512);
+/// assert!(burst.total.get() < 600);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    cfg: DramConfig,
+    open_rows: Vec<Option<usize>>,
+    bank_ready: Vec<u64>,
+    now: u64,
+    total_row_misses: u64,
+}
+
+impl DramModel {
+    /// Creates a DRAM model from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any parameter is zero where a
+    /// non-zero value is required.
+    pub fn new(cfg: DramConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        Ok(DramModel {
+            open_rows: vec![None; cfg.banks],
+            bank_ready: vec![0; cfg.banks],
+            now: 0,
+            cfg,
+            total_row_misses: 0,
+        })
+    }
+
+    /// The configuration this model was built from.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Total row misses since construction or the last [`reset`](Self::reset).
+    #[must_use]
+    pub fn row_misses(&self) -> u64 {
+        self.total_row_misses
+    }
+
+    /// Closes all rows and rewinds the internal clock.
+    pub fn reset(&mut self) {
+        self.open_rows.iter_mut().for_each(|r| *r = None);
+        self.bank_ready.iter_mut().for_each(|t| *t = 0);
+        self.now = 0;
+        self.total_row_misses = 0;
+    }
+
+    /// Advances the DRAM clock by `cycles` without issuing accesses.
+    ///
+    /// Use this when the memory interface sits idle (e.g. a compute phase),
+    /// letting in-flight precharges complete for free.
+    pub fn idle(&mut self, cycles: Cycles) {
+        self.now += cycles.get();
+    }
+
+    #[inline]
+    fn bank_of(&self, word: usize) -> usize {
+        if self.cfg.wings > 1 {
+            let wing = (word / self.cfg.wing_words) % self.cfg.wings;
+            let local = word % self.cfg.wing_words;
+            let bpw = self.cfg.banks_per_wing();
+            wing * bpw + (local / self.cfg.interleave_words) % bpw
+        } else {
+            (word / self.cfg.interleave_words) % self.cfg.banks
+        }
+    }
+
+    #[inline]
+    fn row_of(&self, word: usize) -> usize {
+        if self.cfg.wings > 1 {
+            let local = word % self.cfg.wing_words;
+            local / (self.cfg.row_words * self.cfg.banks_per_wing())
+        } else {
+            word / (self.cfg.row_words * self.cfg.banks)
+        }
+    }
+
+    /// Times a transfer of `n_words` starting at `start_word`.
+    ///
+    /// The transfer is assumed to occupy the interface exclusively; the
+    /// model clock advances by the returned total.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a zero stride.
+    pub fn transfer(
+        &mut self,
+        start_word: usize,
+        n_words: usize,
+        pattern: AccessPattern,
+    ) -> Result<DramCost, SimError> {
+        let group: usize = match pattern {
+            AccessPattern::Sequential => self.cfg.seq_words_per_cycle as usize,
+            AccessPattern::Strided { stride_words } => {
+                if stride_words == 0 {
+                    return Err(SimError::invalid_config(
+                        "strided transfer requires non-zero stride",
+                    ));
+                }
+                self.cfg.strided_words_per_cycle as usize
+            }
+            AccessPattern::Chunked { chunk_words, stride_words } => {
+                if chunk_words == 0 || stride_words == 0 {
+                    return Err(SimError::invalid_config(
+                        "chunked transfer requires non-zero chunk and stride",
+                    ));
+                }
+                // Within-chunk accesses stream at the sequential rate; the
+                // address generator absorbs the chunk jumps.
+                self.cfg.seq_words_per_cycle as usize
+            }
+        };
+        if n_words == 0 {
+            return Ok(DramCost::default());
+        }
+
+        let start_time = self.now;
+        let mut t = self.now + self.cfg.t_startup;
+        let mut row_misses = 0u64;
+
+        let mut issued = 0usize;
+        while issued < n_words {
+            let in_group = group.min(n_words - issued);
+            // One cycle of data transfer for the group, delayed by any bank
+            // that must first activate a new row.
+            let mut group_ready = t;
+            for k in 0..in_group {
+                let idx = issued + k;
+                let word = match pattern {
+                    AccessPattern::Sequential => start_word + idx,
+                    AccessPattern::Strided { stride_words } => start_word + idx * stride_words,
+                    AccessPattern::Chunked { chunk_words, stride_words } => {
+                        start_word + (idx / chunk_words) * stride_words + idx % chunk_words
+                    }
+                };
+                let bank = self.bank_of(word);
+                let row = self.row_of(word);
+                if self.open_rows[bank] != Some(row) {
+                    row_misses += 1;
+                    // Memory controllers issue precharge/activate ahead of
+                    // the data stream; an activation can begin as soon as
+                    // the bank was last free, up to one full row-cycle
+                    // before the access needs it. A bank that has been idle
+                    // hides the row cost entirely (the paper: "mostly
+                    // hidden with sequential accesses"); a bank re-opened
+                    // in quick succession stalls the stream.
+                    let lookahead = self.cfg.t_precharge + self.cfg.t_activate;
+                    let activate_start = self.bank_ready[bank].max(t.saturating_sub(lookahead));
+                    let activate_end =
+                        activate_start + self.cfg.t_precharge + self.cfg.t_activate;
+                    self.open_rows[bank] = Some(row);
+                    self.bank_ready[bank] = activate_end;
+                    group_ready = group_ready.max(activate_end);
+                } else {
+                    group_ready = group_ready.max(self.bank_ready[bank]);
+                }
+            }
+            t = group_ready + 1;
+            issued += in_group;
+        }
+
+        self.now = t;
+        self.total_row_misses += row_misses;
+
+        let data_cycles = n_words.div_ceil(group) as u64;
+        let total = t - start_time;
+        let startup = self.cfg.t_startup;
+        let overhead = total.saturating_sub(data_cycles + startup);
+        Ok(DramCost {
+            total: Cycles::new(total),
+            data: Cycles::new(data_cycles),
+            overhead: Cycles::new(overhead),
+            startup: Cycles::new(startup),
+            row_misses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(cfg: DramConfig) -> DramModel {
+        DramModel::new(cfg).expect("valid config")
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let mut cfg = DramConfig::viram_onchip();
+        cfg.banks = 0;
+        assert!(DramModel::new(cfg).is_err());
+        let mut cfg = DramConfig::viram_onchip();
+        cfg.row_words = 0;
+        assert!(DramModel::new(cfg).is_err());
+        let mut cfg = DramConfig::viram_onchip();
+        cfg.seq_words_per_cycle = 0;
+        assert!(DramModel::new(cfg).is_err());
+        let mut cfg = DramConfig::viram_onchip();
+        cfg.interleave_words = 0;
+        assert!(DramModel::new(cfg).is_err());
+    }
+
+    #[test]
+    fn zero_words_is_free() {
+        let mut d = model(DramConfig::viram_onchip());
+        let c = d.transfer(0, 0, AccessPattern::Sequential).unwrap();
+        assert_eq!(c.total, Cycles::ZERO);
+        assert_eq!(c.row_misses, 0);
+    }
+
+    #[test]
+    fn zero_stride_is_rejected() {
+        let mut d = model(DramConfig::viram_onchip());
+        let err = d.transfer(0, 8, AccessPattern::Strided { stride_words: 0 });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sequential_burst_approaches_peak() {
+        let mut d = model(DramConfig::viram_onchip());
+        let c = d.transfer(0, 32_768, AccessPattern::Sequential).unwrap();
+        // 32768 words / 8 per cycle = 4096 data cycles; overhead must be a
+        // small fraction because row misses are amortized across banks.
+        assert_eq!(c.data, Cycles::new(4_096));
+        assert!(c.total.get() < 4_096 * 12 / 10, "total {} too slow", c.total);
+    }
+
+    #[test]
+    fn strided_is_slower_than_sequential() {
+        let mut d = model(DramConfig::viram_onchip());
+        let seq = d.transfer(0, 4_096, AccessPattern::Sequential).unwrap();
+        d.reset();
+        let strided = d
+            .transfer(0, 4_096, AccessPattern::Strided { stride_words: 1_032 })
+            .unwrap();
+        assert!(strided.total > seq.total);
+    }
+
+    #[test]
+    fn open_rows_persist_across_transfers() {
+        let mut d = model(DramConfig::viram_onchip());
+        // Stride of one interleave unit walks the wing's four banks within
+        // row 0: each bank gets opened once.
+        let first = d
+            .transfer(0, 8, AccessPattern::Strided { stride_words: 8 })
+            .unwrap();
+        // Revisiting the same rows (offset within the open row) is free.
+        let second = d
+            .transfer(1, 8, AccessPattern::Strided { stride_words: 8 })
+            .unwrap();
+        assert_eq!(first.row_misses, 4);
+        assert_eq!(second.row_misses, 0);
+        assert!(second.total <= first.total);
+    }
+
+    #[test]
+    fn reset_closes_rows() {
+        let mut d = model(DramConfig::viram_onchip());
+        let first = d.transfer(0, 64, AccessPattern::Sequential).unwrap();
+        d.reset();
+        let again = d.transfer(0, 64, AccessPattern::Sequential).unwrap();
+        assert_eq!(first.row_misses, again.row_misses);
+        assert_eq!(d.row_misses(), again.row_misses);
+    }
+
+    #[test]
+    fn idle_lets_precharge_complete() {
+        let mut d = model(DramConfig::viram_onchip());
+        let _ = d.transfer(0, 8, AccessPattern::Sequential).unwrap();
+        // After a long idle period, bank-ready times are in the past, so a
+        // row miss costs only the activate latency, not queueing.
+        d.idle(Cycles::new(10_000));
+        let c = d.transfer(1 << 20, 8, AccessPattern::Sequential).unwrap();
+        assert!(c.total.get() <= 1 + d.config().t_startup + d.config().t_precharge + d.config().t_activate);
+    }
+
+    #[test]
+    fn monotone_in_words() {
+        // More words never cost fewer cycles (fresh model each time so
+        // open-row state does not interfere).
+        let mut prev = Cycles::ZERO;
+        for n in [0usize, 1, 7, 8, 64, 512, 4096] {
+            let mut d = model(DramConfig::imagine_offchip());
+            let c = d.transfer(0, n, AccessPattern::Sequential).unwrap();
+            assert!(c.total >= prev, "{n} words regressed");
+            prev = c.total;
+        }
+    }
+
+    #[test]
+    fn cost_combine_sums_fields() {
+        let a = DramCost {
+            total: Cycles::new(10),
+            data: Cycles::new(6),
+            overhead: Cycles::new(2),
+            startup: Cycles::new(2),
+            row_misses: 1,
+        };
+        let b = a;
+        let c = a.combine(b);
+        assert_eq!(c.total, Cycles::new(20));
+        assert_eq!(c.row_misses, 2);
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        for cfg in [
+            DramConfig::viram_onchip(),
+            DramConfig::imagine_offchip(),
+            DramConfig::raw_offchip(),
+            DramConfig::ppc_offchip(),
+        ] {
+            assert!(DramModel::new(cfg).is_ok());
+        }
+    }
+}
+
+#[cfg(test)]
+mod chunked_tests {
+    use super::*;
+
+    #[test]
+    fn chunked_walks_blocks_with_stride() {
+        let mut d = DramModel::new(DramConfig::imagine_offchip()).unwrap();
+        let c = d
+            .transfer(0, 64, AccessPattern::Chunked { chunk_words: 8, stride_words: 1032 })
+            .unwrap();
+        // 8 chunks of 8 words; data rate is the sequential rate.
+        assert_eq!(c.data.get(), 32);
+        assert!(c.total >= c.data);
+        // Degenerate chunk parameters are rejected.
+        assert!(d
+            .transfer(0, 8, AccessPattern::Chunked { chunk_words: 0, stride_words: 8 })
+            .is_err());
+        assert!(d
+            .transfer(0, 8, AccessPattern::Chunked { chunk_words: 8, stride_words: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn chunked_with_unit_stride_equals_sequential_addresses() {
+        let mut a = DramModel::new(DramConfig::imagine_offchip()).unwrap();
+        let mut b = DramModel::new(DramConfig::imagine_offchip()).unwrap();
+        let ca = a
+            .transfer(0, 128, AccessPattern::Chunked { chunk_words: 8, stride_words: 8 })
+            .unwrap();
+        let cb = b.transfer(0, 128, AccessPattern::Sequential).unwrap();
+        assert_eq!(ca.row_misses, cb.row_misses);
+        assert_eq!(ca.total, cb.total);
+    }
+}

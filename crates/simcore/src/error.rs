@@ -1,0 +1,99 @@
+//! Error types shared by all simulators in the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while configuring or running a simulation.
+///
+/// Every fallible public function in the workspace returns `Result<_, SimError>`;
+/// simulators must never panic on bad configuration or out-of-range workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A machine or memory configuration parameter is invalid.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        what: String,
+    },
+    /// An address fell outside a simulated memory.
+    OutOfBounds {
+        /// The offending word address.
+        addr: usize,
+        /// The size of the memory in words.
+        size: usize,
+    },
+    /// A resource (SRF space, register file, local store, …) was too small.
+    Capacity {
+        /// The resource that overflowed.
+        what: String,
+        /// Words (or entries) requested.
+        needed: usize,
+        /// Words (or entries) available.
+        available: usize,
+    },
+    /// A workload shape the machine mapping does not support.
+    Unsupported {
+        /// Human-readable description of the unsupported request.
+        what: String,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn invalid_config(what: impl Into<String>) -> Self {
+        SimError::InvalidConfig { what: what.into() }
+    }
+
+    /// Convenience constructor for [`SimError::Unsupported`].
+    pub fn unsupported(what: impl Into<String>) -> Self {
+        SimError::Unsupported { what: what.into() }
+    }
+
+    /// Convenience constructor for [`SimError::Capacity`].
+    pub fn capacity(what: impl Into<String>, needed: usize, available: usize) -> Self {
+        SimError::Capacity { what: what.into(), needed, available }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            SimError::OutOfBounds { addr, size } => {
+                write!(f, "word address {addr} out of bounds for memory of {size} words")
+            }
+            SimError::Capacity { what, needed, available } => {
+                write!(f, "{what} exhausted: needed {needed}, available {available}")
+            }
+            SimError::Unsupported { what } => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SimError::invalid_config("banks must be non-zero");
+        assert_eq!(e.to_string(), "invalid configuration: banks must be non-zero");
+
+        let e = SimError::OutOfBounds { addr: 10, size: 4 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("4"));
+
+        let e = SimError::capacity("stream register file", 2048, 1024);
+        assert!(e.to_string().contains("stream register file"));
+
+        let e = SimError::unsupported("non-square corner turn");
+        assert!(e.to_string().starts_with("unsupported"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,157 @@
+//! Common vocabulary for machine simulators: identity and run results.
+
+use std::fmt;
+
+use crate::cycles::{ClockFrequency, Cycles};
+use crate::model::ThroughputModel;
+use crate::stats::CycleBreakdown;
+
+/// Static description of a simulated machine (paper Table 2 row).
+#[derive(Debug, Clone)]
+pub struct MachineInfo {
+    /// Short display name, e.g. `"VIRAM"`.
+    pub name: &'static str,
+    /// Core clock frequency.
+    pub clock: ClockFrequency,
+    /// Number of (32-bit) ALUs counted the way the paper's Table 2 does.
+    pub alu_count: u32,
+    /// Peak single-precision GFLOPS.
+    pub peak_gflops: f64,
+    /// Peak-throughput roofline (paper Table 1).
+    pub throughput: ThroughputModel,
+}
+
+impl fmt::Display for MachineInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} ALUs, {:.2} peak GFLOPS)",
+            self.name, self.clock, self.alu_count, self.peak_gflops
+        )
+    }
+}
+
+/// How a kernel's output was checked against the reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verification {
+    /// Output words are bit-identical to the reference.
+    BitExact,
+    /// Floating-point output matched within the given max absolute error.
+    MaxError(f32),
+    /// The run produced no checkable output (should not normally occur).
+    Unchecked,
+}
+
+impl Verification {
+    /// Whether the output is acceptable under `tolerance`.
+    #[must_use]
+    pub fn is_ok(&self, tolerance: f32) -> bool {
+        match self {
+            Verification::BitExact => true,
+            Verification::MaxError(e) => *e <= tolerance,
+            Verification::Unchecked => false,
+        }
+    }
+}
+
+/// The result of running one kernel on one simulated machine.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Total simulated cycles.
+    pub cycles: Cycles,
+    /// Attribution of those cycles to causes.
+    pub breakdown: CycleBreakdown,
+    /// 32-bit ALU operations the kernel actually executed.
+    pub ops_executed: u64,
+    /// Words moved across the machine's performance-limiting memory level.
+    pub mem_words: u64,
+    /// Output correctness versus the reference kernel.
+    pub verification: Verification,
+}
+
+impl KernelRun {
+    /// Sustained operations per cycle achieved by this run.
+    #[must_use]
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == Cycles::ZERO {
+            return 0.0;
+        }
+        self.ops_executed as f64 / self.cycles.get() as f64
+    }
+
+    /// Fraction of `peak_ops_per_cycle` this run sustained.
+    #[must_use]
+    pub fn utilization(&self, peak_ops_per_cycle: f64) -> f64 {
+        if peak_ops_per_cycle <= 0.0 {
+            return 0.0;
+        }
+        self.ops_per_cycle() / peak_ops_per_cycle
+    }
+}
+
+impl fmt::Display for KernelRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles: {} ({:.0} kcycles)", self.cycles, self.cycles.to_kilocycles())?;
+        writeln!(f, "ops: {}  mem words: {}", self.ops_executed, self.mem_words)?;
+        writeln!(f, "verification: {:?}", self.verification)?;
+        write!(f, "{}", self.breakdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> KernelRun {
+        let mut breakdown = CycleBreakdown::new();
+        breakdown.charge("memory", Cycles::new(870));
+        breakdown.charge("compute", Cycles::new(130));
+        KernelRun {
+            cycles: Cycles::new(1_000),
+            breakdown,
+            ops_executed: 4_800,
+            mem_words: 2_000,
+            verification: Verification::MaxError(1e-4),
+        }
+    }
+
+    #[test]
+    fn ops_per_cycle_and_utilization() {
+        let run = sample_run();
+        assert_eq!(run.ops_per_cycle(), 4.8);
+        assert!((run.utilization(48.0) - 0.1).abs() < 1e-12);
+        assert_eq!(run.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_cycle_run_has_zero_throughput() {
+        let mut run = sample_run();
+        run.cycles = Cycles::ZERO;
+        assert_eq!(run.ops_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn verification_tolerance() {
+        assert!(Verification::BitExact.is_ok(0.0));
+        assert!(Verification::MaxError(1e-5).is_ok(1e-4));
+        assert!(!Verification::MaxError(1e-3).is_ok(1e-4));
+        assert!(!Verification::Unchecked.is_ok(1.0));
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let run = sample_run();
+        let s = run.to_string();
+        assert!(s.contains("kcycles"));
+        assert!(s.contains("memory"));
+        let info = MachineInfo {
+            name: "Imagine",
+            clock: ClockFrequency::from_mhz(300.0),
+            alu_count: 48,
+            peak_gflops: 14.4,
+            throughput: ThroughputModel::imagine(),
+        };
+        assert!(info.to_string().contains("Imagine"));
+        assert!(info.to_string().contains("48 ALUs"));
+    }
+}

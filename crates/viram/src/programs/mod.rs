@@ -1,0 +1,10 @@
+//! Hand-"vectorized" kernel programs for VIRAM (paper Section 3).
+//!
+//! Each program mirrors the mapping the paper describes: blocked
+//! strided-load corner turn, an in-register vectorized FFT pipeline for
+//! CSLC, and a streaming vectorized beam steer.
+
+pub mod beam_steering;
+pub mod corner_turn;
+pub mod cslc;
+pub mod vfft;

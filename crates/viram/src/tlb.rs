@@ -1,0 +1,112 @@
+//! A small FIFO TLB model.
+//!
+//! The paper attributes part of VIRAM's corner-turn overhead to TLB
+//! misses ("about 21% of the total cycles are overhead due to DRAM
+//! pre-charge cycles … and TLB misses"). Strided column walks touch many
+//! pages per vector instruction, overwhelming a small TLB.
+
+/// A FIFO-replacement TLB over fixed-size pages.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<usize>,
+    capacity: usize,
+    page_words: usize,
+    next_victim: usize,
+    misses: u64,
+    hits: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries over pages of `page_words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `page_words` is zero (configurations are
+    /// validated upstream by `ViramConfig::validate`).
+    #[must_use]
+    pub fn new(capacity: usize, page_words: usize) -> Self {
+        assert!(capacity > 0 && page_words > 0, "TLB needs entries and pages");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            page_words,
+            next_victim: 0,
+            misses: 0,
+            hits: 0,
+        }
+    }
+
+    /// Touches the page containing `word_addr`; returns `true` on a miss.
+    pub fn access(&mut self, word_addr: usize) -> bool {
+        let page = word_addr / self.page_words;
+        if self.entries.contains(&page) {
+            self.hits += 1;
+            return false;
+        }
+        self.misses += 1;
+        if self.entries.len() < self.capacity {
+            self.entries.push(page);
+        } else {
+            self.entries[self.next_victim] = page;
+            self.next_victim = (self.next_victim + 1) % self.capacity;
+        }
+        true
+    }
+
+    /// Total misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_page_hits() {
+        let mut tlb = Tlb::new(4, 1024);
+        assert!(tlb.access(0)); // miss
+        assert!(!tlb.access(512)); // same page
+        assert!(!tlb.access(1023));
+        assert_eq!(tlb.misses(), 1);
+        assert_eq!(tlb.hits(), 2);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut tlb = Tlb::new(2, 10);
+        assert!(tlb.access(0)); // page 0
+        assert!(tlb.access(10)); // page 1
+        assert!(tlb.access(20)); // page 2 evicts page 0
+        assert!(tlb.access(0)); // page 0 missing again
+        assert_eq!(tlb.misses(), 4);
+    }
+
+    #[test]
+    fn strided_walk_thrashes_small_tlb() {
+        let mut tlb = Tlb::new(4, 2048);
+        // 16 pages touched round-robin: every access misses.
+        for round in 0..3 {
+            for p in 0..16 {
+                let miss = tlb.access(p * 2048);
+                if round > 0 {
+                    assert!(miss, "page {p} should thrash");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn zero_capacity_panics() {
+        let _ = Tlb::new(0, 10);
+    }
+}
