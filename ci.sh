@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gate — the same steps .github/workflows/ci.yml runs.
+#
+# Usage: ./ci.sh
+#
+# The workspace has no crates.io dependencies (rand/proptest/criterion are
+# vendored under devstubs/), so every step below works offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "CI OK"

@@ -6,13 +6,69 @@
 //! ```
 //!
 //! Accepted selectors: `table1 table2 table3 table4 figure8 figure9
-//! breakdowns altivec ablations`.
+//! breakdowns altivec claims ablations trace`.
+//!
+//! `trace [dir]` runs every machine × kernel pair with event tracing
+//! enabled and writes one Chrome `trace_event` JSON file and one CSV per
+//! pair under `dir` (default `target/traces`); open the JSON in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use std::env;
+use std::fs;
+use std::path::Path;
 
 use triarch_core::arch::Architecture;
 use triarch_core::{ablations, experiments};
 use triarch_kernels::Kernel;
+use triarch_simcore::trace::{export, AggregateSink, RingSink, TeeSink};
+
+/// Events retained per trace file; older events are counted as dropped.
+const RING_CAPACITY: usize = 1 << 18;
+
+/// Lowercases a display name into a file-name slug.
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect()
+}
+
+/// Runs every machine × kernel pair traced and writes JSON + CSV files.
+fn dump_traces(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    fs::create_dir_all(dir)?;
+    let workloads = triarch_bench::paper_workloads();
+    println!("== Cycle-attribution traces ({}) ==", dir.display());
+    for arch in Architecture::ALL {
+        let mut machine = arch.machine()?;
+        for kernel in Kernel::ALL {
+            let mut sink = TeeSink::new(RingSink::new(RING_CAPACITY), AggregateSink::new());
+            let run = machine.run_traced(kernel, &workloads, &mut sink)?;
+            let TeeSink { a: ring, b: agg } = sink;
+            let dropped = ring.dropped();
+            let events = ring.into_events();
+            let trace = agg.into_breakdown();
+
+            let base = format!("{}-{}", slug(arch.name()), slug(kernel.name()));
+            fs::write(dir.join(format!("{base}.trace.json")), export::chrome_trace_json(&events))?;
+            fs::write(dir.join(format!("{base}.csv")), export::csv(&events))?;
+
+            // Trace-vs-breakdown agreement: counted spans must reproduce
+            // the engine's own tally.
+            let mut max_drift = 0u64;
+            for (category, cycles) in run.breakdown.iter() {
+                max_drift = max_drift.max(cycles.get().abs_diff(trace.get(category)));
+            }
+            max_drift = max_drift.max(run.cycles.get().abs_diff(trace.total()));
+            println!(
+                "  {base}: {} events ({dropped} dropped from ring), \
+                 {} cycles, trace-vs-breakdown drift {max_drift}",
+                trace.events_observed(),
+                run.cycles.get(),
+            );
+        }
+    }
+    println!();
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -26,6 +82,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if want("table2") {
         println!("== Table 2: processor parameters ==");
         println!("{}", experiments::table2());
+    }
+
+    // `trace [dir]` is explicit-only (it writes files), so it does not
+    // participate in the run-everything default.
+    if let Some(pos) = args.iter().position(|a| a == "trace") {
+        const SELECTORS: [&str; 11] = [
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "figure8",
+            "figure9",
+            "breakdowns",
+            "altivec",
+            "claims",
+            "ablations",
+            "trace",
+        ];
+        let dir = args
+            .get(pos + 1)
+            .filter(|a| !SELECTORS.contains(&a.as_str()))
+            .map_or("target/traces", String::as_str);
+        dump_traces(Path::new(dir))?;
     }
 
     let needs_runs =

@@ -186,10 +186,7 @@ mod tests {
         // set-aliasing wall in the naive loop.
         let w = CornerTurnWorkload::with_dims(512, 512, 3).unwrap();
         let (naive, blocked) = ppc_blocked_corner_turn(&w, 8).unwrap();
-        assert!(
-            naive.ratio(blocked) > 2.0,
-            "tiling should win big: {naive} vs {blocked}"
-        );
+        assert!(naive.ratio(blocked) > 2.0, "tiling should win big: {naive} vs {blocked}");
     }
 
     #[test]

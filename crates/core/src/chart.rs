@@ -48,11 +48,7 @@ pub fn render_log_bars(bars: &[Bar], width: usize) -> String {
     let mut out = String::new();
     for bar in bars {
         let log = bar.value.max(f64::MIN_POSITIVE).log10();
-        let len = if log <= 0.0 {
-            0
-        } else {
-            ((log / max_log) * width as f64).round() as usize
-        };
+        let len = if log <= 0.0 { 0 } else { ((log / max_log) * width as f64).round() as usize };
         out.push_str(&format!(
             "{:<label_width$} |{}{} {:.1}x\n",
             bar.label,

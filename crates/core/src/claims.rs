@@ -37,10 +37,8 @@ impl Claim {
 #[must_use]
 pub fn evaluate(table: &Table3) -> Vec<Claim> {
     let cycles = |a, k| table.cycles(a, k).get() as f64;
-    let speedup_vs_ppc =
-        |a, k| cycles(Architecture::Ppc, k) / cycles(a, k);
-    let speedup_vs_altivec =
-        |a, k| cycles(Architecture::Altivec, k) / cycles(a, k);
+    let speedup_vs_ppc = |a, k| cycles(Architecture::Ppc, k) / cycles(a, k);
+    let speedup_vs_altivec = |a, k| cycles(Architecture::Altivec, k) / cycles(a, k);
 
     let imagine_ct = table.run(Architecture::Imagine, Kernel::CornerTurn);
     let raw_ct = table.run(Architecture::Raw, Kernel::CornerTurn);

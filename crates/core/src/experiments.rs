@@ -38,8 +38,7 @@ pub fn table1() -> TextTable {
 #[must_use]
 pub fn table2() -> TextTable {
     let mut t = TextTable::new(vec!["", "PPC G4", "VIRAM", "Imagine", "Raw"]);
-    let archs =
-        [Architecture::Ppc, Architecture::Viram, Architecture::Imagine, Architecture::Raw];
+    let archs = [Architecture::Ppc, Architecture::Viram, Architecture::Imagine, Architecture::Raw];
     let infos: Vec<_> =
         archs.iter().map(|a| a.machine().expect("builtin machines construct")).collect();
     t.row(
@@ -101,9 +100,11 @@ impl Table3 {
         for arch in Architecture::ALL {
             t.row(
                 std::iter::once(arch.name().to_string())
-                    .chain(Kernel::ALL.iter().map(|k| {
-                        fmt_kilocycles(self.cycles(arch, *k).to_kilocycles())
-                    }))
+                    .chain(
+                        Kernel::ALL
+                            .iter()
+                            .map(|k| fmt_kilocycles(self.cycles(arch, *k).to_kilocycles())),
+                    )
                     .collect(),
             );
         }
@@ -113,8 +114,7 @@ impl Table3 {
     /// Renders measured-vs-published cycles with the deviation ratio.
     #[must_use]
     pub fn render_vs_paper(&self) -> String {
-        let mut t =
-            TextTable::new(vec!["", "Kernel", "paper (kc)", "ours (kc)", "ratio"]);
+        let mut t = TextTable::new(vec!["", "Kernel", "paper (kc)", "ours (kc)", "ratio"]);
         for arch in Architecture::ALL {
             for kernel in Kernel::ALL {
                 let ours = self.cycles(arch, kernel).to_kilocycles();
@@ -224,11 +224,7 @@ impl Figure {
     #[must_use]
     pub fn value(&self, arch: Architecture, kernel: Kernel) -> f64 {
         let idx = Kernel::ALL.iter().position(|k| *k == kernel).expect("known kernel");
-        self.series
-            .iter()
-            .find(|(a, _)| *a == arch)
-            .map(|(_, v)| v[idx])
-            .unwrap_or(f64::NAN)
+        self.series.iter().find(|(a, _)| *a == arch).map(|(_, v)| v[idx]).unwrap_or(f64::NAN)
     }
 
     /// Renders as an ASCII bar chart on a log axis, visually mirroring
@@ -251,12 +247,7 @@ impl Figure {
     /// Renders as a text table (the paper plots these on a log axis).
     #[must_use]
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(vec![
-            self.title,
-            "Corner Turn",
-            "CSLC",
-            "Beam Steering",
-        ]);
+        let mut t = TextTable::new(vec![self.title, "Corner Turn", "CSLC", "Beam Steering"]);
         for (arch, values) in &self.series {
             t.row(
                 std::iter::once(arch.name().to_string())

@@ -42,6 +42,7 @@ pub mod claims;
 pub mod experiments;
 pub mod paper;
 pub mod report;
+pub mod tracecheck;
 
 pub use arch::Architecture;
 pub use experiments::{figure8, figure9, table1, table2, table3, table4, Table3};

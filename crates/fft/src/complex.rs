@@ -119,10 +119,7 @@ impl SubAssign for Cf32 {
 impl Mul for Cf32 {
     type Output = Cf32;
     fn mul(self, rhs: Cf32) -> Cf32 {
-        Cf32 {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        Cf32 { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 

@@ -98,8 +98,7 @@ mod tests {
         let b: Vec<Cf32> = (0..8).map(|j| Cf32::new(0.0, -(j as f32))).collect();
         let sum: Vec<Cf32> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let lhs = dft_naive(&sum);
-        let rhs: Vec<Cf32> =
-            dft_naive(&a).iter().zip(dft_naive(&b)).map(|(x, y)| *x + y).collect();
+        let rhs: Vec<Cf32> = dft_naive(&a).iter().zip(dft_naive(&b)).map(|(x, y)| *x + y).collect();
         assert!(max_err(&lhs, &rhs) < 1e-4);
     }
 

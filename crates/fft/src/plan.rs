@@ -183,16 +183,11 @@ mod tests {
     fn forward_then_inverse_is_identity() {
         let f = Fft::forward(32).unwrap();
         let i = Fft::inverse(32).unwrap();
-        let original: Vec<Cf32> =
-            (0..32).map(|k| Cf32::new(k as f32, -(k as f32) * 0.5)).collect();
+        let original: Vec<Cf32> = (0..32).map(|k| Cf32::new(k as f32, -(k as f32) * 0.5)).collect();
         let mut data = original.clone();
         f.process(&mut data).unwrap();
         i.process(&mut data).unwrap();
-        let err = data
-            .iter()
-            .zip(&original)
-            .map(|(a, b)| a.max_abs_diff(*b))
-            .fold(0.0, f32::max);
+        let err = data.iter().zip(&original).map(|(a, b)| a.max_abs_diff(*b)).fold(0.0, f32::max);
         assert!(err < 1e-3);
     }
 }

@@ -70,9 +70,7 @@ mod tests {
     }
 
     fn signal(n: usize) -> Vec<Cf32> {
-        (0..n)
-            .map(|j| Cf32::new((j as f32 * 0.7).sin() + 0.3, (j as f32 * 1.3).cos()))
-            .collect()
+        (0..n).map(|j| Cf32::new((j as f32 * 0.7).sin() + 0.3, (j as f32 * 1.3).cos())).collect()
     }
 
     #[test]

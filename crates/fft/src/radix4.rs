@@ -44,8 +44,12 @@ fn fft_rec(data: &mut [Cf32], dir: Dir) {
     debug_assert!(n.is_multiple_of(4), "length must be a power of two");
     {
         let q = n / 4;
-        let mut sub: [Vec<Cf32>; 4] =
-            [Vec::with_capacity(q), Vec::with_capacity(q), Vec::with_capacity(q), Vec::with_capacity(q)];
+        let mut sub: [Vec<Cf32>; 4] = [
+            Vec::with_capacity(q),
+            Vec::with_capacity(q),
+            Vec::with_capacity(q),
+            Vec::with_capacity(q),
+        ];
         for (i, &v) in data.iter().enumerate() {
             sub[i % 4].push(v);
         }
@@ -139,9 +143,7 @@ mod tests {
     }
 
     fn signal(n: usize) -> Vec<Cf32> {
-        (0..n)
-            .map(|j| Cf32::new((j as f32 * 0.9).sin() - 0.1, (j as f32 * 0.4).cos()))
-            .collect()
+        (0..n).map(|j| Cf32::new((j as f32 * 0.9).sin() - 0.1, (j as f32 * 0.4).cos())).collect()
     }
 
     #[test]

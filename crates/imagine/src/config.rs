@@ -95,7 +95,9 @@ impl ImagineConfig {
     /// Returns [`SimError::InvalidConfig`] for degenerate parameters.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.clusters == 0 || self.adders == 0 || self.multipliers == 0 {
-            return Err(SimError::invalid_config("imagine needs clusters with adders and multipliers"));
+            return Err(SimError::invalid_config(
+                "imagine needs clusters with adders and multipliers",
+            ));
         }
         if self.srf_words == 0 || self.srf_block_words == 0 {
             return Err(SimError::invalid_config("imagine SRF must be non-empty"));

@@ -1,11 +1,18 @@
 //! The Imagine execution engine: SRF, memory streams, and cluster kernels.
 
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
-    AccessPattern, Cycles, CycleBreakdown, DramModel, KernelRun, SimError, Verification,
-    WordMemory,
+    AccessPattern, CycleBreakdown, Cycles, DramModel, KernelRun, SimError, Verification, WordMemory,
 };
 
 use crate::config::ImagineConfig;
+
+/// Trace track for the stream/memory system.
+const TRACK_MEM: &str = "imagine.mem";
+/// Trace track for cluster (kernel) execution.
+const TRACK_CLUSTER: &str = "imagine.cluster";
+/// Trace track for the off-chip DRAM cost decomposition.
+const TRACK_DRAM: &str = "imagine.dram";
 
 /// Per-unit-class operation totals for one kernel invocation, summed over
 /// all stream elements (the machine divides across clusters).
@@ -49,15 +56,43 @@ pub struct SrfRange {
     pub len: usize,
 }
 
+/// Per-category cycle totals for one side of an overlap region, keeping
+/// totals with `&'static str` keys so the winner can be replayed as counted
+/// trace spans at [`ImagineMachine::end_overlap`].
+#[derive(Debug, Default, Clone)]
+struct SideAcc {
+    entries: Vec<(&'static str, Cycles)>,
+}
+
+impl SideAcc {
+    fn charge(&mut self, category: &'static str, cycles: Cycles) {
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| *k == category) {
+            entry.1 += cycles;
+        } else {
+            self.entries.push((category, cycles));
+        }
+    }
+
+    fn total(&self) -> Cycles {
+        self.entries.iter().map(|(_, c)| *c).sum()
+    }
+}
+
 #[derive(Debug, Default, Clone)]
 struct OverlapAcc {
-    mem: CycleBreakdown,
-    kernel: CycleBreakdown,
+    mem: SideAcc,
+    kernel: SideAcc,
+    /// Cycle cursor (== charged total) when the region opened.
+    start: u64,
 }
 
 /// The Imagine machine state: off-chip DRAM, SRF, clusters, accounting.
+///
+/// Generic over a [`TraceSink`]; the default [`NullSink`] is statically
+/// dispatched, disabled, and empty, so an untraced machine pays nothing
+/// for the instrumentation.
 #[derive(Debug, Clone)]
-pub struct ImagineMachine {
+pub struct ImagineMachine<S: TraceSink = NullSink> {
     cfg: ImagineConfig,
     dram: DramModel,
     mem: WordMemory,
@@ -68,15 +103,27 @@ pub struct ImagineMachine {
     ops: u64,
     mem_words: u64,
     overlap: Option<OverlapAcc>,
+    sink: S,
 }
 
-impl ImagineMachine {
-    /// Builds the machine from a configuration.
+impl ImagineMachine<NullSink> {
+    /// Builds an untraced machine from a configuration.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
     pub fn new(cfg: &ImagineConfig) -> Result<Self, SimError> {
+        Self::with_sink(cfg, NullSink)
+    }
+}
+
+impl<S: TraceSink> ImagineMachine<S> {
+    /// Builds a machine that emits cycle-attribution events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
+    pub fn with_sink(cfg: &ImagineConfig, sink: S) -> Result<Self, SimError> {
         cfg.validate()?;
         Ok(ImagineMachine {
             dram: DramModel::new(cfg.dram)?,
@@ -89,6 +136,7 @@ impl ImagineMachine {
             mem_words: 0,
             overlap: None,
             cfg: cfg.clone(),
+            sink,
         })
     }
 
@@ -158,19 +206,38 @@ impl ImagineMachine {
         Ok(())
     }
 
-    fn charge(&mut self, is_mem: bool, category: &'static str, cycles: Cycles) {
+    fn charge(&mut self, is_mem: bool, category: &'static str, name: &'static str, cycles: Cycles) {
         if cycles == Cycles::ZERO {
             return;
         }
+        let track = if is_mem { TRACK_MEM } else { TRACK_CLUSTER };
         match &mut self.overlap {
             Some(acc) => {
-                if is_mem {
-                    acc.mem.charge(category, cycles);
-                } else {
-                    acc.kernel.charge(category, cycles);
+                let side = if is_mem { &mut acc.mem } else { &mut acc.kernel };
+                if self.sink.is_enabled() {
+                    // Inside an overlap region only the slower side will be
+                    // charged (at end_overlap); per-op spans here are
+                    // uncounted detail on each side's own timeline.
+                    let at = acc.start + side.total().get();
+                    self.sink.span_uncounted(track, category, name, at, cycles.get());
                 }
+                side.charge(category, cycles);
             }
-            None => self.breakdown.charge(category, cycles),
+            None => {
+                if self.sink.is_enabled() {
+                    let at = self.breakdown.total().get();
+                    self.sink.span(track, category, name, at, cycles.get());
+                }
+                self.breakdown.charge(category, cycles);
+            }
+        }
+    }
+
+    /// Cycle cursor for the memory side (used to position DRAM detail spans).
+    fn mem_cursor(&self) -> u64 {
+        match &self.overlap {
+            Some(acc) => acc.start + acc.mem.total().get(),
+            None => self.breakdown.total().get(),
         }
     }
 
@@ -183,7 +250,11 @@ impl ImagineMachine {
         if self.overlap.is_some() {
             return Err(SimError::unsupported("nested overlap regions"));
         }
-        self.overlap = Some(OverlapAcc::default());
+        let start = self.breakdown.total().get();
+        if self.sink.is_enabled() {
+            self.sink.instant(TRACK_CLUSTER, "overlap-begin", start);
+        }
+        self.overlap = Some(OverlapAcc { start, ..OverlapAcc::default() });
         Ok(())
     }
 
@@ -191,6 +262,12 @@ impl ImagineMachine {
     /// `descriptor_penalty` fraction of the faster side remains visible as
     /// `"unoverlapped"` (the stream-descriptor-register limit), and the
     /// rest is hidden.
+    ///
+    /// When tracing, the winning side's per-category totals plus the
+    /// visible `"unoverlapped"` residue are emitted as *counted* spans
+    /// tiling the charged interval, so the trace aggregation reproduces
+    /// the breakdown exactly while the per-op detail recorded during the
+    /// region stays uncounted.
     ///
     /// # Errors
     ///
@@ -202,13 +279,30 @@ impl ImagineMachine {
             .ok_or_else(|| SimError::unsupported("end_overlap without begin_overlap"))?;
         let mem_total = acc.mem.total();
         let kernel_total = acc.kernel.total();
-        let (winner, loser_total) = if mem_total >= kernel_total {
-            (acc.mem, kernel_total)
+        let (winner, winner_track, loser_total) = if mem_total >= kernel_total {
+            (&acc.mem, TRACK_MEM, kernel_total)
         } else {
-            (acc.kernel, mem_total)
+            (&acc.kernel, TRACK_CLUSTER, mem_total)
         };
-        self.breakdown.merge(&winner);
         let visible = loser_total.scale(self.cfg.descriptor_penalty);
+        if self.sink.is_enabled() {
+            let mut t = acc.start;
+            for &(category, cycles) in &winner.entries {
+                self.sink.span(winner_track, category, "overlap-charged", t, cycles.get());
+                t += cycles.get();
+            }
+            self.sink.span(
+                TRACK_CLUSTER,
+                "unoverlapped",
+                "descriptor-limit-residue",
+                t,
+                visible.get(),
+            );
+            self.sink.instant(TRACK_CLUSTER, "overlap-end", t + visible.get());
+        }
+        for &(category, cycles) in &winner.entries {
+            self.breakdown.charge(category, cycles);
+        }
         self.breakdown.charge("unoverlapped", visible);
         self.hidden += loser_total.saturating_sub(visible);
         Ok(())
@@ -234,10 +328,18 @@ impl ImagineMachine {
             let v = self.mem.read_u32(a)?;
             self.srf.write_u32(dst.start + i, v)?;
         }
-        let cost = self.dram.transfer(mem_addr, len, pattern)?;
+        let cursor = self.mem_cursor();
+        let cost = self.dram.transfer_observed(
+            mem_addr,
+            len,
+            pattern,
+            &mut self.sink,
+            TRACK_DRAM,
+            cursor,
+        )?;
         self.mem_words += len as u64;
-        self.charge(true, "memory", cost.data + cost.startup);
-        self.charge(true, "precharge", cost.overhead);
+        self.charge(true, "memory", "stream-in", cost.data + cost.startup);
+        self.charge(true, "precharge", "row-precharge-activate", cost.overhead);
         Ok(())
     }
 
@@ -261,10 +363,18 @@ impl ImagineMachine {
             let a = stream_addr(mem_addr, i, pattern);
             self.mem.write_u32(a, v)?;
         }
-        let cost = self.dram.transfer(mem_addr, len, pattern)?;
+        let cursor = self.mem_cursor();
+        let cost = self.dram.transfer_observed(
+            mem_addr,
+            len,
+            pattern,
+            &mut self.sink,
+            TRACK_DRAM,
+            cursor,
+        )?;
         self.mem_words += len as u64;
-        self.charge(true, "memory", cost.data + cost.startup);
-        self.charge(true, "precharge", cost.overhead);
+        self.charge(true, "memory", "stream-out", cost.data + cost.startup);
+        self.charge(true, "precharge", "row-precharge-activate", cost.overhead);
         Ok(())
     }
 
@@ -291,9 +401,14 @@ impl ImagineMachine {
         let comm_exposed = (comm_cycles as f64 * self.cfg.comm_exposure).ceil() as u64;
         let comm_extra = comm_cycles.saturating_sub(loop_cycles).max(comm_exposed.min(comm_cycles));
         self.ops += ops.arithmetic();
-        self.charge(false, "kernel", Cycles::new(loop_cycles));
-        self.charge(false, "comm", Cycles::new(comm_extra));
-        self.charge(false, "prologue", Cycles::new(self.cfg.kernel_startup));
+        self.charge(false, "kernel", "kernel-loop", Cycles::new(loop_cycles));
+        self.charge(false, "comm", "comm-exposed", Cycles::new(comm_extra));
+        self.charge(
+            false,
+            "prologue",
+            "sw-pipeline-prologue",
+            Cycles::new(self.cfg.kernel_startup),
+        );
     }
 
     /// Total cycles charged so far.
@@ -412,7 +527,9 @@ mod tests {
         m.end_overlap().unwrap();
         // Memory dominates; a fraction of the kernel remains visible.
         assert!(m.breakdown_get("unoverlapped") > 0);
-        assert!(m.hidden_cycles() > Cycles::ZERO || ImagineConfig::paper().descriptor_penalty == 1.0);
+        assert!(
+            m.hidden_cycles() > Cycles::ZERO || ImagineConfig::paper().descriptor_penalty == 1.0
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use triarch_kernels::beam_steering::BeamSteeringWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError};
 
 use crate::config::ImagineConfig;
@@ -24,6 +25,19 @@ use crate::machine::{ClusterOps, ImagineMachine};
 /// batch cannot fit the SRF.
 pub fn run(cfg: &ImagineConfig, workload: &BeamSteeringWorkload) -> Result<KernelRun, SimError> {
     run_with_table_placement(cfg, workload, TablePlacement::Dram)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &ImagineConfig,
+    workload: &BeamSteeringWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
+    run_placed_traced(cfg, workload, TablePlacement::Dram, sink)
 }
 
 /// Where the calibration tables live during the run.
@@ -52,6 +66,15 @@ pub fn run_with_table_placement(
     workload: &BeamSteeringWorkload,
     placement: TablePlacement,
 ) -> Result<KernelRun, SimError> {
+    run_placed_traced(cfg, workload, placement, NullSink)
+}
+
+fn run_placed_traced<S: TraceSink>(
+    cfg: &ImagineConfig,
+    workload: &BeamSteeringWorkload,
+    placement: TablePlacement,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let e = workload.elements();
     let cal_a_base = 0usize;
     let cal_b_base = e;
@@ -61,7 +84,7 @@ pub fn run_with_table_placement(
         return Err(SimError::capacity("imagine off-chip memory", needed, cfg.mem_words));
     }
 
-    let mut m = ImagineMachine::new(cfg)?;
+    let mut m = ImagineMachine::with_sink(cfg, sink)?;
     // Two table input streams plus the result output stream.
     m.declare_streams(3)?;
     let cal_a: Vec<u32> = workload.cal_coarse().iter().map(|&v| v as u32).collect();
@@ -119,9 +142,7 @@ pub fn run_with_table_placement(
                     let elem = e0 + i;
                     let ca = m.srf().read_u32(a_range.start + i)? as i32;
                     let cb = m.srf().read_u32(b_range.start + i)? as i32;
-                    let acc = workload
-                        .steer_bias()
-                        .wrapping_add(inc.wrapping_mul(elem as i32 + 1));
+                    let acc = workload.steer_bias().wrapping_add(inc.wrapping_mul(elem as i32 + 1));
                     let sum = ca
                         .wrapping_add(cb)
                         .wrapping_add(workload.dir_offset()[d])
@@ -194,12 +215,9 @@ mod tests {
     fn srf_resident_rejects_oversized_tables() {
         // 40k elements x 2 tables > the 32k-word SRF.
         let w = BeamSteeringWorkload::new(40_000, 1, 1, 0).unwrap();
-        let err = run_with_table_placement(
-            &ImagineConfig::paper(),
-            &w,
-            TablePlacement::SrfResident,
-        )
-        .unwrap_err();
+        let err =
+            run_with_table_placement(&ImagineConfig::paper(), &w, TablePlacement::SrfResident)
+                .unwrap_err();
         assert!(matches!(err, SimError::Capacity { .. }));
     }
 }

@@ -10,6 +10,7 @@
 
 use triarch_kernels::corner_turn::CornerTurnWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError};
 
 use crate::config::ImagineConfig;
@@ -26,6 +27,19 @@ pub const DST_PAD_WORDS: usize = 8;
 /// Returns [`SimError`] if a single matrix row cannot fit in half the SRF
 /// or memory is exhausted.
 pub fn run(cfg: &ImagineConfig, workload: &CornerTurnWorkload) -> Result<KernelRun, SimError> {
+    run_traced(cfg, workload, NullSink)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &ImagineConfig,
+    workload: &CornerTurnWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let rows = workload.rows();
     let cols = workload.cols();
     let src_base = 0usize;
@@ -44,7 +58,7 @@ pub fn run(cfg: &ImagineConfig, workload: &CornerTurnWorkload) -> Result<KernelR
         return Err(SimError::capacity("imagine SRF (one matrix row)", cols, half_srf));
     }
 
-    let mut m = ImagineMachine::new(cfg)?;
+    let mut m = ImagineMachine::with_sink(cfg, sink)?;
     // Paper mapping: four input streams plus one output stream.
     m.declare_streams(5)?;
     m.memory_mut().write_block_u32(src_base, workload.source_slice())?;
@@ -113,10 +127,7 @@ mod tests {
     #[test]
     fn row_wider_than_half_srf_is_capacity_error() {
         let w = CornerTurnWorkload::with_dims(2, 20_000, 0).unwrap();
-        assert!(matches!(
-            run(&ImagineConfig::paper(), &w),
-            Err(SimError::Capacity { .. })
-        ));
+        assert!(matches!(run(&ImagineConfig::paper(), &w), Err(SimError::Capacity { .. })));
     }
 
     #[test]

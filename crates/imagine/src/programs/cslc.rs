@@ -12,11 +12,12 @@ use triarch_fft::ops::OpCount;
 use triarch_fft::{Cf32, Fft};
 use triarch_kernels::cslc::CslcWorkload;
 use triarch_kernels::verify::verify_complex;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError, WordMemory};
 
 use crate::config::ImagineConfig;
-use crate::machine::{ClusterOps, ImagineMachine};
 use crate::machine::SrfRange;
+use crate::machine::{ClusterOps, ImagineMachine};
 
 /// Cluster-op model of one n-point FFT: arithmetic from the mixed
 /// radix-4 op count, communication from the three cross-cluster stages
@@ -32,7 +33,11 @@ fn fft_ops(n: usize, per_fft: OpCount, clusters: usize) -> ClusterOps {
     }
 }
 
-fn srf_complex(m: &ImagineMachine, range: SrfRange, n: usize) -> Result<Vec<Cf32>, SimError> {
+fn srf_complex<S: TraceSink>(
+    m: &ImagineMachine<S>,
+    range: SrfRange,
+    n: usize,
+) -> Result<Vec<Cf32>, SimError> {
     let words = m.srf().read_block_u32(range.start, 2 * n)?;
     Ok(words
         .chunks_exact(2)
@@ -40,8 +45,8 @@ fn srf_complex(m: &ImagineMachine, range: SrfRange, n: usize) -> Result<Vec<Cf32
         .collect())
 }
 
-fn srf_write_complex(
-    m: &mut ImagineMachine,
+fn srf_write_complex<S: TraceSink>(
+    m: &mut ImagineMachine<S>,
     range: SrfRange,
     data: &[Cf32],
 ) -> Result<(), SimError> {
@@ -59,6 +64,19 @@ fn srf_write_complex(
 /// Returns [`SimError`] when the working set exceeds the SRF or off-chip
 /// memory, or the FFT length is not a power of two.
 pub fn run(cfg: &ImagineConfig, workload: &CslcWorkload) -> Result<KernelRun, SimError> {
+    run_traced(cfg, workload, NullSink)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &ImagineConfig,
+    workload: &CslcWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let c = *workload.config();
     let n = c.fft_len;
     let hop = c.hop();
@@ -80,7 +98,7 @@ pub fn run(cfg: &ImagineConfig, workload: &CslcWorkload) -> Result<KernelRun, Si
     let inverse = Fft::inverse(n).map_err(|e| SimError::unsupported(e.to_string()))?;
     let per_fft = c.fft_opcount_radix4();
 
-    let mut m = ImagineMachine::new(cfg)?;
+    let mut m = ImagineMachine::with_sink(cfg, sink)?;
     // Peak stream concurrency per sub-band: every channel window plus
     // every weight vector in flight at once (the output streams drain
     // after the inputs complete). The paper's 4+4 = 8 exactly fills the

@@ -189,10 +189,9 @@ impl CslcWorkload {
             .map(|m| {
                 (0..cfg.samples)
                     .map(|t| {
-                        let target = Cf32::from_angle(
-                            2.0 * std::f32::consts::PI * target_freq * t as f32,
-                        )
-                        .scale(0.5);
+                        let target =
+                            Cf32::from_angle(2.0 * std::f32::consts::PI * target_freq * t as f32)
+                                .scale(0.5);
                         let leak: Cf32 = aux
                             .iter()
                             .map(|ch| ch[t].scale(0.2 + 0.05 * m as f32))
@@ -208,9 +207,7 @@ impl CslcWorkload {
                 (0..cfg.aux_channels)
                     .map(|_| {
                         (0..cfg.subbands * cfg.fft_len)
-                            .map(|_| {
-                                Cf32::new(rng.gen_range(-0.3..0.3), rng.gen_range(-0.3..0.3))
-                            })
+                            .map(|_| Cf32::new(rng.gen_range(-0.3..0.3), rng.gen_range(-0.3..0.3)))
                             .collect()
                     })
                     .collect()

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use triarch_simcore::trace::TraceSink;
 use triarch_simcore::{KernelRun, MachineInfo, SimError};
 
 use crate::beam_steering::BeamSteeringWorkload;
@@ -73,6 +74,53 @@ pub trait SignalMachine {
     /// machine's mapping or exceeds a hardware resource.
     fn beam_steering(&mut self, workload: &BeamSteeringWorkload) -> Result<KernelRun, SimError>;
 
+    /// Runs the corner-turn kernel while emitting cycle-attribution trace
+    /// events into `sink`.
+    ///
+    /// The default implementation falls back to the untraced
+    /// [`corner_turn`](Self::corner_turn) and emits nothing; machines that
+    /// support tracing override this so the event stream tiles the reported
+    /// [`KernelRun::breakdown`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`corner_turn`](Self::corner_turn).
+    fn corner_turn_traced(
+        &mut self,
+        workload: &CornerTurnWorkload,
+        _sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        self.corner_turn(workload)
+    }
+
+    /// Runs the CSLC kernel while emitting cycle-attribution trace events
+    /// into `sink` (see [`corner_turn_traced`](Self::corner_turn_traced)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`cslc`](Self::cslc).
+    fn cslc_traced(
+        &mut self,
+        workload: &CslcWorkload,
+        _sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        self.cslc(workload)
+    }
+
+    /// Runs the beam-steering kernel while emitting cycle-attribution trace
+    /// events into `sink` (see [`corner_turn_traced`](Self::corner_turn_traced)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`beam_steering`](Self::beam_steering).
+    fn beam_steering_traced(
+        &mut self,
+        workload: &BeamSteeringWorkload,
+        _sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        self.beam_steering(workload)
+    }
+
     /// Dispatches a kernel by enum value.
     ///
     /// # Errors
@@ -83,6 +131,24 @@ pub trait SignalMachine {
             Kernel::CornerTurn => self.corner_turn(&workloads.corner_turn),
             Kernel::Cslc => self.cslc(&workloads.cslc),
             Kernel::BeamSteering => self.beam_steering(&workloads.beam_steering),
+        }
+    }
+
+    /// Dispatches a kernel by enum value with tracing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the corresponding kernel method's error.
+    fn run_traced(
+        &mut self,
+        kernel: Kernel,
+        workloads: &WorkloadSet,
+        sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        match kernel {
+            Kernel::CornerTurn => self.corner_turn_traced(&workloads.corner_turn, sink),
+            Kernel::Cslc => self.cslc_traced(&workloads.cslc, sink),
+            Kernel::BeamSteering => self.beam_steering_traced(&workloads.beam_steering, sink),
         }
     }
 }

@@ -22,8 +22,7 @@ pub fn verify_complex(got: &[Cf32], expected: &[Cf32]) -> Verification {
     if got.len() != expected.len() {
         return Verification::Unchecked;
     }
-    let max_err =
-        got.iter().zip(expected).map(|(a, b)| a.max_abs_diff(*b)).fold(0.0f32, f32::max);
+    let max_err = got.iter().zip(expected).map(|(a, b)| a.max_abs_diff(*b)).fold(0.0f32, f32::max);
     Verification::MaxError(max_err)
 }
 

@@ -36,7 +36,9 @@ impl CacheConfig {
     #[must_use]
     pub fn sets(&self) -> usize {
         assert!(
-            self.line_words > 0 && self.ways > 0 && self.size_words.is_multiple_of(self.line_words * self.ways),
+            self.line_words > 0
+                && self.ways > 0
+                && self.size_words.is_multiple_of(self.line_words * self.ways),
             "inconsistent cache geometry"
         );
         self.size_words / (self.line_words * self.ways)
@@ -62,6 +64,7 @@ impl Cache {
     }
 
     /// Touches the line containing `word_addr`; returns `true` on a miss.
+    #[inline]
     pub fn access(&mut self, word_addr: usize) -> bool {
         let line = word_addr / self.cfg.line_words;
         let set = line % self.sets.len();
@@ -118,6 +121,7 @@ impl Hierarchy {
 
     /// Touches an address through both levels; returns
     /// `(l1_miss, l2_miss)`.
+    #[inline]
     pub fn access(&mut self, word_addr: usize) -> (bool, bool) {
         let l1_miss = self.l1.access(word_addr);
         let l2_miss = if l1_miss { self.l2.access(word_addr) } else { false };

@@ -36,9 +36,8 @@ pub use config::PpcConfig;
 pub use machine::PpcMachine;
 pub use programs::Variant;
 
-use triarch_kernels::{
-    BeamSteeringWorkload, CornerTurnWorkload, CslcWorkload, SignalMachine,
-};
+use triarch_kernels::{BeamSteeringWorkload, CornerTurnWorkload, CslcWorkload, SignalMachine};
+use triarch_simcore::trace::TraceSink;
 use triarch_simcore::{KernelRun, MachineInfo, SimError};
 
 /// The G4 baseline machine in either scalar or AltiVec form.
@@ -110,6 +109,30 @@ impl SignalMachine for Ppc {
 
     fn beam_steering(&mut self, workload: &BeamSteeringWorkload) -> Result<KernelRun, SimError> {
         programs::beam_steering::run(&self.config, workload, self.variant)
+    }
+
+    fn corner_turn_traced(
+        &mut self,
+        workload: &CornerTurnWorkload,
+        sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        programs::corner_turn::run_traced(&self.config, workload, self.variant, sink)
+    }
+
+    fn cslc_traced(
+        &mut self,
+        workload: &CslcWorkload,
+        sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        programs::cslc::run_traced(&self.config, workload, self.variant, sink)
+    }
+
+    fn beam_steering_traced(
+        &mut self,
+        workload: &BeamSteeringWorkload,
+        sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        programs::beam_steering::run_traced(&self.config, workload, self.variant, sink)
     }
 }
 

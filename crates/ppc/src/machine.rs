@@ -1,14 +1,25 @@
 //! Timing accumulator for the G4 baseline: superscalar issue plus
 //! trace-driven cache stalls.
 
-use triarch_simcore::{Cycles, CycleBreakdown, KernelRun, SimError, Verification};
+use triarch_simcore::trace::{NullSink, TraceSink};
+use triarch_simcore::{CycleBreakdown, Cycles, KernelRun, SimError, Verification};
 
 use crate::cache::Hierarchy;
 use crate::config::PpcConfig;
 
+/// Trace track for the scalar/vector core.
+const TRACK_CORE: &str = "ppc.core";
+
 /// Accumulates instruction counts and cache stalls for one kernel run.
+///
+/// Generic over a [`TraceSink`]; the default [`NullSink`] is statically
+/// dispatched, disabled, and empty, so an untraced machine pays nothing
+/// for the instrumentation. The G4 model is counter-based — cycles are
+/// only attributable once the run completes — so the counted spans that
+/// tile the breakdown are emitted at [`PpcMachine::finish`], with
+/// periodic counter samples along the way.
 #[derive(Debug, Clone)]
-pub struct PpcMachine {
+pub struct PpcMachine<S: TraceSink = NullSink> {
     cfg: PpcConfig,
     hier: Hierarchy,
     instrs: u64,
@@ -18,15 +29,27 @@ pub struct PpcMachine {
     store_stall: u64,
     ops: u64,
     mem_words: u64,
+    sink: S,
 }
 
-impl PpcMachine {
-    /// Builds the machine.
+impl PpcMachine<NullSink> {
+    /// Builds an untraced machine.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
     pub fn new(cfg: &PpcConfig) -> Result<Self, SimError> {
+        Self::with_sink(cfg, NullSink)
+    }
+}
+
+impl<S: TraceSink> PpcMachine<S> {
+    /// Builds a machine that emits cycle-attribution events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
+    pub fn with_sink(cfg: &PpcConfig, sink: S) -> Result<Self, SimError> {
         cfg.validate()?;
         Ok(PpcMachine {
             cfg: cfg.clone(),
@@ -38,21 +61,25 @@ impl PpcMachine {
             store_stall: 0,
             ops: 0,
             mem_words: 0,
+            sink,
         })
     }
 
     /// Issues `n` independent instructions (retire at the configured IPC).
+    #[inline]
     pub fn issue(&mut self, n: u64) {
         self.instrs += n;
     }
 
     /// Issues `n` dependent operations (a serial chain: one per cycle).
+    #[inline]
     pub fn serial_ops(&mut self, n: u64) {
         self.serial_cycles += n;
         self.ops += n;
     }
 
     /// Counts `n` arithmetic operations that issue superscalar.
+    #[inline]
     pub fn alu_ops(&mut self, n: u64) {
         self.instrs += n;
         self.ops += n;
@@ -60,6 +87,7 @@ impl PpcMachine {
 
     /// Counts `n` AltiVec vector operations (each is one instruction but
     /// `vector_lanes` arithmetic results).
+    #[inline]
     pub fn vector_ops(&mut self, n: u64) {
         self.instrs += n;
         self.ops += n * self.cfg.vector_lanes as u64;
@@ -67,17 +95,20 @@ impl PpcMachine {
 
     /// Issues `n` dependent AltiVec operations (serial chain, one per
     /// cycle, `vector_lanes` results each).
+    #[inline]
     pub fn serial_vector_ops(&mut self, n: u64) {
         self.serial_cycles += n;
         self.ops += n * self.cfg.vector_lanes as u64;
     }
 
     /// Scalar trigonometric library calls.
+    #[inline]
     pub fn trig(&mut self, n: u64) {
         self.trig_calls += n;
     }
 
     /// A load from `word_addr`: one issue slot plus any cache stalls.
+    #[inline]
     pub fn load(&mut self, word_addr: usize) {
         self.instrs += 1;
         self.mem_words += 1;
@@ -92,6 +123,7 @@ impl PpcMachine {
 
     /// A store to `word_addr`: one issue slot; misses cost the (buffered)
     /// write-allocate penalty only when they reach memory.
+    #[inline]
     pub fn store(&mut self, word_addr: usize) {
         self.instrs += 1;
         self.mem_words += 1;
@@ -102,6 +134,7 @@ impl PpcMachine {
     }
 
     /// A 4-lane vector load (one instruction touching `lanes` words).
+    #[inline]
     pub fn vector_load(&mut self, word_addr: usize) {
         self.instrs += 1;
         self.mem_words += self.cfg.vector_lanes as u64;
@@ -115,6 +148,7 @@ impl PpcMachine {
     }
 
     /// A 4-lane vector store.
+    #[inline]
     pub fn vector_store(&mut self, word_addr: usize) {
         self.instrs += 1;
         self.mem_words += self.cfg.vector_lanes as u64;
@@ -137,16 +171,44 @@ impl PpcMachine {
         )
     }
 
+    /// Marks a program phase boundary in the trace: an instant event plus
+    /// counter samples of the stall/instruction totals at the current
+    /// cycle count. A no-op when tracing is disabled.
+    pub fn checkpoint(&mut self, name: &'static str) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        let at = self.cycles().get();
+        self.sink.instant(TRACK_CORE, name, at);
+        self.sink.counter(TRACK_CORE, "instructions", at, self.instrs as f64);
+        self.sink.counter(TRACK_CORE, "load-stall-cycles", at, self.load_stall as f64);
+        self.sink.counter(TRACK_CORE, "store-stall-cycles", at, self.store_stall as f64);
+    }
+
     /// Consumes the machine into a [`KernelRun`].
+    ///
+    /// When tracing, the per-category totals are emitted as *counted*
+    /// spans tiling `[0, total)` in breakdown order, so the trace
+    /// aggregation reproduces the breakdown exactly.
     #[must_use]
-    pub fn finish(self, verification: Verification) -> KernelRun {
-        let mut breakdown = CycleBreakdown::new();
+    pub fn finish(mut self, verification: Verification) -> KernelRun {
         let issue = (self.instrs as f64 / self.cfg.ipc).ceil() as u64;
-        breakdown.charge("issue", Cycles::new(issue));
-        breakdown.charge("serial", Cycles::new(self.serial_cycles));
-        breakdown.charge("libm", Cycles::new(self.trig_calls * self.cfg.trig_cycles));
-        breakdown.charge("load-stall", Cycles::new(self.load_stall));
-        breakdown.charge("store-stall", Cycles::new(self.store_stall));
+        let entries: [(&'static str, &'static str, u64); 5] = [
+            ("issue", "superscalar-issue", issue),
+            ("serial", "dependent-chain", self.serial_cycles),
+            ("libm", "trig-library-calls", self.trig_calls * self.cfg.trig_cycles),
+            ("load-stall", "cache-load-miss-stall", self.load_stall),
+            ("store-stall", "cache-store-miss-stall", self.store_stall),
+        ];
+        let mut breakdown = CycleBreakdown::new();
+        let mut t = 0u64;
+        for &(category, name, cycles) in &entries {
+            if self.sink.is_enabled() && cycles > 0 {
+                self.sink.span(TRACK_CORE, category, name, t, cycles);
+            }
+            t += cycles;
+            breakdown.charge(category, Cycles::new(cycles));
+        }
         KernelRun {
             cycles: breakdown.total(),
             breakdown,

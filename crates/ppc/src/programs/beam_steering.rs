@@ -6,6 +6,7 @@
 
 use triarch_kernels::beam_steering::BeamSteeringWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
 use super::Variant;
@@ -22,9 +23,23 @@ pub fn run(
     workload: &BeamSteeringWorkload,
     variant: Variant,
 ) -> Result<KernelRun, SimError> {
+    run_traced(cfg, workload, variant, NullSink)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &PpcConfig,
+    workload: &BeamSteeringWorkload,
+    variant: Variant,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let e = workload.elements();
     let out_base = 2 * e;
-    let mut m = PpcMachine::new(cfg)?;
+    let mut m = PpcMachine::with_sink(cfg, sink)?;
     let mut out = Vec::with_capacity(workload.outputs());
 
     for dwell in 0..workload.dwells() {
@@ -65,6 +80,7 @@ pub fn run(
                 }
             }
         }
+        m.checkpoint("dwell-done");
     }
 
     let verification = verify_words(&out, &workload.reference_output());

@@ -8,6 +8,7 @@
 
 use triarch_kernels::corner_turn::CornerTurnWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
 use super::Variant;
@@ -24,11 +25,25 @@ pub fn run(
     workload: &CornerTurnWorkload,
     variant: Variant,
 ) -> Result<KernelRun, SimError> {
+    run_traced(cfg, workload, variant, NullSink)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &PpcConfig,
+    workload: &CornerTurnWorkload,
+    variant: Variant,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let rows = workload.rows();
     let cols = workload.cols();
     let src = workload.source_slice();
     let mut dst = vec![0u32; rows * cols];
-    let mut m = PpcMachine::new(cfg)?;
+    let mut m = PpcMachine::with_sink(cfg, sink)?;
 
     // Virtual layout: src at 0, dst right after.
     let dst_base = rows * cols;
@@ -70,6 +85,7 @@ pub fn run(
         }
     }
 
+    m.checkpoint("transpose-loop-done");
     let verification = verify_words(&dst, &workload.reference_transpose());
     Ok(m.finish(verification))
 }

@@ -9,6 +9,7 @@
 use triarch_fft::{fft_radix2, ifft_radix2, Cf32};
 use triarch_kernels::cslc::CslcWorkload;
 use triarch_kernels::verify::verify_complex;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
 use super::Variant;
@@ -24,7 +25,7 @@ const WEIGHTS: usize = 1 << 20;
 /// Output region base.
 const OUTPUT: usize = 1 << 22;
 
-fn charge_fft(m: &mut PpcMachine, n: usize, variant: Variant) {
+fn charge_fft<S: TraceSink>(m: &mut PpcMachine<S>, n: usize, variant: Variant) {
     let stages = n.trailing_zeros() as u64;
     let butterflies = (n as u64 / 2) * stages;
     match variant {
@@ -75,11 +76,25 @@ pub fn run(
     workload: &CslcWorkload,
     variant: Variant,
 ) -> Result<KernelRun, SimError> {
+    run_traced(cfg, workload, variant, NullSink)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &PpcConfig,
+    workload: &CslcWorkload,
+    variant: Variant,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let c = *workload.config();
     let n = c.fft_len;
     let hop = c.hop();
     let channels = c.main_channels + c.aux_channels;
-    let mut m = PpcMachine::new(cfg)?;
+    let mut m = PpcMachine::with_sink(cfg, sink)?;
 
     let mut out = vec![Cf32::ZERO; c.main_channels * c.subbands * n];
     for s in 0..c.subbands {
@@ -132,9 +147,9 @@ pub fn run(
             for k in 0..2 * n {
                 m.store(OUTPUT + (mc * c.subbands + s) * 2 * n + k);
             }
-            out[(mc * c.subbands + s) * n..(mc * c.subbands + s + 1) * n]
-                .copy_from_slice(&spec);
+            out[(mc * c.subbands + s) * n..(mc * c.subbands + s + 1) * n].copy_from_slice(&spec);
         }
+        m.checkpoint("subband-done");
     }
 
     let verification = verify_complex(&out, &workload.reference_output());

@@ -42,9 +42,8 @@ pub use config::RawConfig;
 pub use machine::RawMachine;
 pub use network::{PacketFormat, StaticNetwork, TileId};
 
-use triarch_kernels::{
-    BeamSteeringWorkload, CornerTurnWorkload, CslcWorkload, SignalMachine,
-};
+use triarch_kernels::{BeamSteeringWorkload, CornerTurnWorkload, CslcWorkload, SignalMachine};
+use triarch_simcore::trace::TraceSink;
 use triarch_simcore::{KernelRun, MachineInfo, SimError};
 
 /// The Raw machine: configuration plus the Table 2 identity.
@@ -98,6 +97,30 @@ impl SignalMachine for Raw {
 
     fn beam_steering(&mut self, workload: &BeamSteeringWorkload) -> Result<KernelRun, SimError> {
         programs::beam_steering::run(&self.config, workload)
+    }
+
+    fn corner_turn_traced(
+        &mut self,
+        workload: &CornerTurnWorkload,
+        sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        programs::corner_turn::run_traced(&self.config, workload, sink)
+    }
+
+    fn cslc_traced(
+        &mut self,
+        workload: &CslcWorkload,
+        sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        programs::cslc::run_traced(&self.config, workload, sink)
+    }
+
+    fn beam_steering_traced(
+        &mut self,
+        workload: &BeamSteeringWorkload,
+        sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        programs::beam_steering::run_traced(&self.config, workload, sink)
     }
 }
 

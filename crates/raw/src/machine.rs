@@ -6,12 +6,19 @@
 //! sub-bands); a phase completes when its slowest resource does:
 //! `max(slowest tile, DRAM-port occupancy, network occupancy)`.
 
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
-    AccessPattern, Cycles, CycleBreakdown, DramModel, KernelRun, SimError, Verification,
-    WordMemory,
+    AccessPattern, CycleBreakdown, Cycles, DramModel, KernelRun, SimError, Verification, WordMemory,
 };
 
 use crate::config::RawConfig;
+
+/// Trace track for tile/phase execution.
+const TRACK_TILES: &str = "raw.tiles";
+/// Trace track for DRAM-port occupancy.
+const TRACK_MEM: &str = "raw.mem";
+/// Trace track for the off-chip DRAM cost decomposition.
+const TRACK_DRAM: &str = "raw.dram";
 
 #[derive(Debug, Clone, Copy, Default)]
 struct TileCounters {
@@ -21,8 +28,12 @@ struct TileCounters {
 }
 
 /// The Raw machine state.
+///
+/// Generic over a [`TraceSink`]; the default [`NullSink`] is statically
+/// dispatched, disabled, and empty, so an untraced machine pays nothing
+/// for the instrumentation.
 #[derive(Debug, Clone)]
-pub struct RawMachine {
+pub struct RawMachine<S: TraceSink = NullSink> {
     cfg: RawConfig,
     dram: DramModel,
     mem: WordMemory,
@@ -34,15 +45,27 @@ pub struct RawMachine {
     ops: u64,
     mem_words: u64,
     in_phase: bool,
+    sink: S,
 }
 
-impl RawMachine {
-    /// Builds the machine from a configuration.
+impl RawMachine<NullSink> {
+    /// Builds an untraced machine from a configuration.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
     pub fn new(cfg: &RawConfig) -> Result<Self, SimError> {
+        Self::with_sink(cfg, NullSink)
+    }
+}
+
+impl<S: TraceSink> RawMachine<S> {
+    /// Builds a machine that emits cycle-attribution events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
+    pub fn with_sink(cfg: &RawConfig, sink: S) -> Result<Self, SimError> {
         cfg.validate()?;
         Ok(RawMachine {
             dram: DramModel::new(cfg.dram)?,
@@ -56,6 +79,7 @@ impl RawMachine {
             mem_words: 0,
             in_phase: false,
             cfg: cfg.clone(),
+            sink,
         })
     }
 
@@ -100,6 +124,9 @@ impl RawMachine {
         self.tiles.iter_mut().for_each(|t| *t = TileCounters::default());
         self.phase_mem = 0;
         self.phase_mem_overhead = 0;
+        if self.sink.is_enabled() {
+            self.sink.instant(TRACK_TILES, "phase-begin", self.breakdown.total().get());
+        }
         Ok(())
     }
 
@@ -170,7 +197,17 @@ impl RawMachine {
         pattern: AccessPattern,
     ) -> Result<(), SimError> {
         self.check_phase()?;
-        let cost = self.dram.transfer(addr, words, pattern)?;
+        // Uncounted DRAM detail on the port's own timeline (phase charges
+        // only land at end_phase, on whichever resource binds).
+        let cursor = self.breakdown.total().get() + self.phase_mem + self.phase_mem_overhead;
+        let cost = self.dram.transfer_observed(
+            addr,
+            words,
+            pattern,
+            &mut self.sink,
+            TRACK_DRAM,
+            cursor,
+        )?;
         self.mem_words += words as u64;
         self.phase_mem += (cost.data + cost.startup).get();
         self.phase_mem_overhead += cost.overhead.get();
@@ -180,9 +217,9 @@ impl RawMachine {
     /// Closes a phase. The phase costs `max(slowest tile, port occupancy,
     /// network occupancy) + phase_startup`. When `balanced` is set, the
     /// tile bound uses the *average* tile time instead of the maximum —
-    /// the paper's perfect-load-balance extrapolation for CSLC — and the
-    /// removed idle time is recorded in the `"imbalance-removed"`
-    /// category of [`RawMachine::stats`] (not counted in the total).
+    /// the paper's perfect-load-balance extrapolation for CSLC — so the
+    /// idle time a real 73-over-16 distribution would add is simply never
+    /// charged.
     ///
     /// # Errors
     ///
@@ -214,16 +251,43 @@ impl RawMachine {
                 self.tiles.iter().map(|t| t.issue).max().unwrap_or(0)
             };
             let stall = tile_bound - issue.min(tile_bound);
-            self.breakdown.charge("issue", Cycles::new(issue.min(tile_bound)));
-            self.breakdown.charge("stall", Cycles::new(stall));
+            self.charge(TRACK_TILES, "issue", "tile-issue", Cycles::new(issue.min(tile_bound)));
+            self.charge(TRACK_TILES, "stall", "tile-stall", Cycles::new(stall));
         } else if mem_bound >= net_bound {
-            self.breakdown.charge("memory", Cycles::new(self.phase_mem));
-            self.breakdown.charge("precharge", Cycles::new(self.phase_mem_overhead));
+            self.charge(TRACK_MEM, "memory", "dram-port", Cycles::new(self.phase_mem));
+            self.charge(
+                TRACK_MEM,
+                "precharge",
+                "row-precharge-activate",
+                Cycles::new(self.phase_mem_overhead),
+            );
         } else {
-            self.breakdown.charge("network", Cycles::new(net_bound));
+            self.charge(TRACK_TILES, "network", "static-network", Cycles::new(net_bound));
         }
-        self.breakdown.charge("startup", Cycles::new(self.cfg.phase_startup));
+        self.charge(TRACK_TILES, "startup", "phase-startup", Cycles::new(self.cfg.phase_startup));
+        if self.sink.is_enabled() {
+            self.sink.instant(TRACK_TILES, "phase-end", self.breakdown.total().get());
+        }
         Ok(())
+    }
+
+    /// Charges the breakdown and mirrors the charge as a counted span, so
+    /// the trace aggregation reproduces the breakdown exactly.
+    fn charge(
+        &mut self,
+        track: &'static str,
+        category: &'static str,
+        name: &'static str,
+        cycles: Cycles,
+    ) {
+        if cycles == Cycles::ZERO {
+            return;
+        }
+        if self.sink.is_enabled() {
+            let at = self.breakdown.total().get();
+            self.sink.span(track, category, name, at, cycles.get());
+        }
+        self.breakdown.charge(category, cycles);
     }
 
     /// Total cycles charged so far.

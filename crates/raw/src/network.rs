@@ -70,12 +70,7 @@ impl StaticNetwork {
         if width == 0 {
             return Err(SimError::invalid_config("mesh width must be non-zero"));
         }
-        Ok(StaticNetwork {
-            width,
-            nn_latency,
-            hop_latency,
-            link_words: vec![0; width * width * 4],
-        })
+        Ok(StaticNetwork { width, nn_latency, hop_latency, link_words: vec![0; width * width * 4] })
     }
 
     /// Latency of the first word of a stream from `src` to `dst`.
@@ -98,7 +93,8 @@ impl StaticNetwork {
         for t in [src, dst] {
             if t.x >= self.width || t.y >= self.width {
                 return Err(SimError::invalid_config(format!(
-                    "tile ({}, {}) outside {0}x{0} mesh", t.x, t.y
+                    "tile ({}, {}) outside {0}x{0} mesh",
+                    t.x, t.y
                 )));
             }
         }
@@ -168,9 +164,7 @@ impl PacketFormat {
         let packets = payload_words.div_ceil(self.max_payload_words);
         let last_payload = payload_words - (packets - 1) * self.max_payload_words;
         let padded_last = last_payload.max(self.min_payload_words);
-        self.header_words * packets
-            + (packets - 1) * self.max_payload_words
-            + padded_last
+        self.header_words * packets + (packets - 1) * self.max_payload_words + padded_last
     }
 }
 
@@ -203,8 +197,7 @@ mod tests {
     #[test]
     fn dimension_ordered_routing_counts_hops() {
         let mut net = StaticNetwork::new(4, 3, 1).unwrap();
-        let hops =
-            net.send(TileId { x: 0, y: 0 }, TileId { x: 2, y: 3 }, 10).unwrap();
+        let hops = net.send(TileId { x: 0, y: 0 }, TileId { x: 2, y: 3 }, 10).unwrap();
         assert_eq!(hops, 5);
         assert_eq!(net.max_link_words(), 10);
         net.reset();

@@ -9,6 +9,7 @@
 
 use triarch_kernels::beam_steering::BeamSteeringWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError};
 
 use crate::config::RawConfig;
@@ -20,6 +21,19 @@ use crate::machine::RawMachine;
 ///
 /// Returns [`SimError`] if tables and output exceed off-chip memory.
 pub fn run(cfg: &RawConfig, workload: &BeamSteeringWorkload) -> Result<KernelRun, SimError> {
+    run_traced(cfg, workload, NullSink)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &RawConfig,
+    workload: &BeamSteeringWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let e = workload.elements();
     let cal_a_base = 0usize;
     let cal_b_base = e;
@@ -29,7 +43,7 @@ pub fn run(cfg: &RawConfig, workload: &BeamSteeringWorkload) -> Result<KernelRun
         return Err(SimError::capacity("raw off-chip memory", needed, cfg.mem_words));
     }
 
-    let mut m = RawMachine::new(cfg)?;
+    let mut m = RawMachine::with_sink(cfg, sink)?;
     let cal_a: Vec<u32> = workload.cal_coarse().iter().map(|&v| v as u32).collect();
     let cal_b: Vec<u32> = workload.cal_fine().iter().map(|&v| v as u32).collect();
     m.memory_mut().write_block_u32(cal_a_base, &cal_a)?;
@@ -55,9 +69,7 @@ pub fn run(cfg: &RawConfig, workload: &BeamSteeringWorkload) -> Result<KernelRun
 
                 // Functional: compute the owned slice of outputs.
                 for elem in e0..e1 {
-                    let acc = workload
-                        .steer_bias()
-                        .wrapping_add(inc.wrapping_mul(elem as i32 + 1));
+                    let acc = workload.steer_bias().wrapping_add(inc.wrapping_mul(elem as i32 + 1));
                     let sum = (workload.cal_coarse()[elem])
                         .wrapping_add(workload.cal_fine()[elem])
                         .wrapping_add(workload.dir_offset()[d])

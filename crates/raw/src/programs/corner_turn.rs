@@ -12,6 +12,7 @@
 
 use triarch_kernels::corner_turn::CornerTurnWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError};
 
 use crate::config::RawConfig;
@@ -27,6 +28,19 @@ pub const ROW_PAD_WORDS: usize = 8;
 ///
 /// Returns [`SimError`] if the matrices do not fit off-chip memory.
 pub fn run(cfg: &RawConfig, workload: &CornerTurnWorkload) -> Result<KernelRun, SimError> {
+    run_traced(cfg, workload, NullSink)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &RawConfig,
+    workload: &CornerTurnWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let rows = workload.rows();
     let cols = workload.cols();
     let src_pitch = cols + ROW_PAD_WORDS;
@@ -40,16 +54,13 @@ pub fn run(cfg: &RawConfig, workload: &CornerTurnWorkload) -> Result<KernelRun, 
 
     // Block edge: 64x64 words fit one tile's local store (paper); shrink
     // for smaller local memories or matrices.
-    let block = 64usize
-        .min((cfg.local_words as f64).sqrt() as usize)
-        .min(rows)
-        .min(cols)
-        .max(1);
+    let block = 64usize.min((cfg.local_words as f64).sqrt() as usize).min(rows).min(cols).max(1);
 
-    let mut m = RawMachine::new(cfg)?;
+    let mut m = RawMachine::with_sink(cfg, sink)?;
     let data = workload.source_slice();
     for r in 0..rows {
-        m.memory_mut().write_block_u32(src_base + r * src_pitch, &data[r * cols..(r + 1) * cols])?;
+        m.memory_mut()
+            .write_block_u32(src_base + r * src_pitch, &data[r * cols..(r + 1) * cols])?;
     }
 
     let row_blocks = rows.div_ceil(block);

@@ -14,6 +14,7 @@ use triarch_fft::ops::radix2_ops;
 use triarch_fft::{fft_radix2, ifft_radix2, Cf32};
 use triarch_kernels::cslc::CslcWorkload;
 use triarch_kernels::verify::verify_complex;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError};
 
 use crate::config::RawConfig;
@@ -64,6 +65,19 @@ pub fn run(cfg: &RawConfig, workload: &CslcWorkload) -> Result<KernelRun, SimErr
     run_with_mode(cfg, workload, CslcMode::CacheMimd)
 }
 
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &RawConfig,
+    workload: &CslcWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
+    run_mode_traced(cfg, workload, CslcMode::CacheMimd, sink)
+}
+
 /// Runs CSLC on Raw in an explicit data-delivery mode.
 ///
 /// # Errors
@@ -74,6 +88,15 @@ pub fn run_with_mode(
     cfg: &RawConfig,
     workload: &CslcWorkload,
     mode: CslcMode,
+) -> Result<KernelRun, SimError> {
+    run_mode_traced(cfg, workload, mode, NullSink)
+}
+
+fn run_mode_traced<S: TraceSink>(
+    cfg: &RawConfig,
+    workload: &CslcWorkload,
+    mode: CslcMode,
+    sink: S,
 ) -> Result<KernelRun, SimError> {
     let c = *workload.config();
     let n = c.fft_len;
@@ -98,7 +121,7 @@ pub fn run_with_mode(
         return Err(SimError::capacity("raw tile local memory", working, cfg.local_words));
     }
 
-    let mut m = RawMachine::new(cfg)?;
+    let mut m = RawMachine::with_sink(cfg, sink)?;
     for ch in 0..channels {
         let data = if ch < c.main_channels {
             workload.main_channel(ch)
@@ -121,13 +144,14 @@ pub fn run_with_mode(
 
     let (fft_instrs, fft_flops) = fft_issue(n, mode);
     let mesh_hops = (2 * (cfg.mesh_width - 1)) as u64;
-    let read_complex = |m: &RawMachine, base: usize, len: usize| -> Result<Vec<Cf32>, SimError> {
-        let words = m.memory().read_block_u32(base, 2 * len)?;
-        Ok(words
-            .chunks_exact(2)
-            .map(|p| Cf32::new(f32::from_bits(p[0]), f32::from_bits(p[1])))
-            .collect())
-    };
+    let read_complex =
+        |m: &RawMachine<S>, base: usize, len: usize| -> Result<Vec<Cf32>, SimError> {
+            let words = m.memory().read_block_u32(base, 2 * len)?;
+            Ok(words
+                .chunks_exact(2)
+                .map(|p| Cf32::new(f32::from_bits(p[0]), f32::from_bits(p[1])))
+                .collect())
+        };
 
     // One balanced phase covers the whole data-parallel run (the paper's
     // perfect-load-balance extrapolation).

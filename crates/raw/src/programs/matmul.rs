@@ -136,9 +136,6 @@ mod tests {
     fn oversized_strip_is_capacity_error() {
         let w = MatmulWorkload::new(512, 0).unwrap();
         // 512/4 * 512 = 64k words per strip > the 8k-word local store.
-        assert!(matches!(
-            run(&RawConfig::paper(), &w),
-            Err(SimError::Capacity { .. })
-        ));
+        assert!(matches!(run(&RawConfig::paper(), &w), Err(SimError::Capacity { .. })));
     }
 }

@@ -14,6 +14,8 @@
 //! revisit rows (the paper's corner-turn optimizations) pay the row costs
 //! only once — exactly the effect the paper exploits.
 
+use triarch_trace::TraceSink;
+
 use crate::cycles::Cycles;
 use crate::error::SimError;
 
@@ -375,8 +377,7 @@ impl DramModel {
                     // in quick succession stalls the stream.
                     let lookahead = self.cfg.t_precharge + self.cfg.t_activate;
                     let activate_start = self.bank_ready[bank].max(t.saturating_sub(lookahead));
-                    let activate_end =
-                        activate_start + self.cfg.t_precharge + self.cfg.t_activate;
+                    let activate_end = activate_start + self.cfg.t_precharge + self.cfg.t_activate;
                     self.open_rows[bank] = Some(row);
                     self.bank_ready[bank] = activate_end;
                     group_ready = group_ready.max(activate_end);
@@ -402,6 +403,46 @@ impl DramModel {
             startup: Cycles::new(startup),
             row_misses,
         })
+    }
+
+    /// [`transfer`](Self::transfer), plus an *uncounted* trace decomposition
+    /// of the transfer's cost on `track` starting at machine cycle `at`.
+    ///
+    /// The caller is expected to charge (and trace as *counted*) the
+    /// returned [`DramCost`] through its own breakdown; the spans emitted
+    /// here are visualization-only detail — pipeline startup, data
+    /// movement at the peak rate, then row precharge/activate stalls —
+    /// laid out back-to-back, plus a cumulative `dram-row-misses` counter
+    /// sample. With a disabled sink this is exactly `transfer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a zero stride.
+    pub fn transfer_observed<S: TraceSink + ?Sized>(
+        &mut self,
+        start_word: usize,
+        n_words: usize,
+        pattern: AccessPattern,
+        sink: &mut S,
+        track: &'static str,
+        at: u64,
+    ) -> Result<DramCost, SimError> {
+        let cost = self.transfer(start_word, n_words, pattern)?;
+        if sink.is_enabled() && cost.total > Cycles::ZERO {
+            let mut t = at;
+            sink.span_uncounted(track, "startup", "dram-startup", t, cost.startup.get());
+            t += cost.startup.get();
+            sink.span_uncounted(track, "memory", "dram-data", t, cost.data.get());
+            t += cost.data.get();
+            sink.span_uncounted(track, "precharge", "dram-row-overhead", t, cost.overhead.get());
+            sink.counter(
+                track,
+                "dram-row-misses",
+                at + cost.total.get(),
+                self.total_row_misses as f64,
+            );
+        }
+        Ok(cost)
     }
 }
 
@@ -459,9 +500,7 @@ mod tests {
         let mut d = model(DramConfig::viram_onchip());
         let seq = d.transfer(0, 4_096, AccessPattern::Sequential).unwrap();
         d.reset();
-        let strided = d
-            .transfer(0, 4_096, AccessPattern::Strided { stride_words: 1_032 })
-            .unwrap();
+        let strided = d.transfer(0, 4_096, AccessPattern::Strided { stride_words: 1_032 }).unwrap();
         assert!(strided.total > seq.total);
     }
 
@@ -470,13 +509,9 @@ mod tests {
         let mut d = model(DramConfig::viram_onchip());
         // Stride of one interleave unit walks the wing's four banks within
         // row 0: each bank gets opened once.
-        let first = d
-            .transfer(0, 8, AccessPattern::Strided { stride_words: 8 })
-            .unwrap();
+        let first = d.transfer(0, 8, AccessPattern::Strided { stride_words: 8 }).unwrap();
         // Revisiting the same rows (offset within the open row) is free.
-        let second = d
-            .transfer(1, 8, AccessPattern::Strided { stride_words: 8 })
-            .unwrap();
+        let second = d.transfer(1, 8, AccessPattern::Strided { stride_words: 8 }).unwrap();
         assert_eq!(first.row_misses, 4);
         assert_eq!(second.row_misses, 0);
         assert!(second.total <= first.total);
@@ -500,7 +535,10 @@ mod tests {
         // row miss costs only the activate latency, not queueing.
         d.idle(Cycles::new(10_000));
         let c = d.transfer(1 << 20, 8, AccessPattern::Sequential).unwrap();
-        assert!(c.total.get() <= 1 + d.config().t_startup + d.config().t_precharge + d.config().t_activate);
+        assert!(
+            c.total.get()
+                <= 1 + d.config().t_startup + d.config().t_precharge + d.config().t_activate
+        );
     }
 
     #[test]
@@ -570,9 +608,8 @@ mod chunked_tests {
     fn chunked_with_unit_stride_equals_sequential_addresses() {
         let mut a = DramModel::new(DramConfig::imagine_offchip()).unwrap();
         let mut b = DramModel::new(DramConfig::imagine_offchip()).unwrap();
-        let ca = a
-            .transfer(0, 128, AccessPattern::Chunked { chunk_words: 8, stride_words: 8 })
-            .unwrap();
+        let ca =
+            a.transfer(0, 128, AccessPattern::Chunked { chunk_words: 8, stride_words: 8 }).unwrap();
         let cb = b.transfer(0, 128, AccessPattern::Sequential).unwrap();
         assert_eq!(ca.row_misses, cb.row_misses);
         assert_eq!(ca.total, cb.total);

@@ -18,6 +18,13 @@
 //! - [`MachineInfo`] and [`KernelRun`] — the common result vocabulary
 //!   shared by all machine simulators.
 //!
+//! Tracing support lives in the dependency-free `triarch-trace` crate
+//! (re-exported here as [`trace`]); this crate adds the glue between the
+//! two vocabularies: [`CycleBreakdown::from_trace`] converts trace-derived
+//! totals back into a breakdown, and
+//! [`DramModel::transfer_observed`](dram::DramModel::transfer_observed)
+//! emits the DRAM model's cost decomposition as uncounted trace spans.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +43,8 @@ pub mod machine;
 pub mod mem;
 pub mod model;
 pub mod stats;
+
+pub use triarch_trace as trace;
 
 pub use cycles::{ClockFrequency, Cycles};
 pub use dram::{AccessPattern, DramConfig, DramCost, DramModel};

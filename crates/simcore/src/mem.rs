@@ -111,10 +111,9 @@ impl WordMemory {
     ///
     /// Returns [`SimError::OutOfBounds`] if the region does not fit.
     pub fn read_block_u32(&self, addr: usize, len: usize) -> Result<Vec<u32>, SimError> {
-        let end = addr.checked_add(len).ok_or(SimError::OutOfBounds {
-            addr: usize::MAX,
-            size: self.words.len(),
-        })?;
+        let end = addr
+            .checked_add(len)
+            .ok_or(SimError::OutOfBounds { addr: usize::MAX, size: self.words.len() })?;
         if end > self.words.len() {
             return Err(SimError::OutOfBounds { addr: end, size: self.words.len() });
         }
@@ -127,10 +126,9 @@ impl WordMemory {
     ///
     /// Returns [`SimError::OutOfBounds`] if the region does not fit.
     pub fn write_block_u32(&mut self, addr: usize, data: &[u32]) -> Result<(), SimError> {
-        let end = addr.checked_add(data.len()).ok_or(SimError::OutOfBounds {
-            addr: usize::MAX,
-            size: self.words.len(),
-        })?;
+        let end = addr
+            .checked_add(data.len())
+            .ok_or(SimError::OutOfBounds { addr: usize::MAX, size: self.words.len() })?;
         if end > self.words.len() {
             return Err(SimError::OutOfBounds { addr: end, size: self.words.len() });
         }

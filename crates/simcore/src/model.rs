@@ -148,7 +148,11 @@ mod tests {
         assert_eq!(imagine.get(), words / 2); // 1,048,576 cycles
 
         let raw = ThroughputModel::raw()
-            .predict(&KernelDemands { offchip_words: words, onchip_words: words, ..Default::default() })
+            .predict(&KernelDemands {
+                offchip_words: words,
+                onchip_words: words,
+                ..Default::default()
+            })
             .unwrap();
         // Raw's off-chip bandwidth (28 w/c) exceeds its cache/issue rate
         // (16 w/c), so the on-chip term dominates — matching the paper's
@@ -173,13 +177,21 @@ mod tests {
 
     #[test]
     fn invalid_rates_are_rejected() {
-        let bad = ThroughputModel { onchip_words_per_cycle: 0.0, offchip_words_per_cycle: 1.0, ops_per_cycle: 1.0 };
+        let bad = ThroughputModel {
+            onchip_words_per_cycle: 0.0,
+            offchip_words_per_cycle: 1.0,
+            ops_per_cycle: 1.0,
+        };
         assert!(bad.predict(&KernelDemands::compute(1)).is_err());
     }
 
     #[test]
     fn prediction_takes_max_of_terms() {
-        let m = ThroughputModel { onchip_words_per_cycle: 2.0, offchip_words_per_cycle: 1.0, ops_per_cycle: 4.0 };
+        let m = ThroughputModel {
+            onchip_words_per_cycle: 2.0,
+            offchip_words_per_cycle: 1.0,
+            ops_per_cycle: 4.0,
+        };
         let d = KernelDemands { onchip_words: 10, offchip_words: 6, ops: 100 };
         // on-chip: 5, off-chip: 6, compute: 25 -> 25
         assert_eq!(m.predict(&d).unwrap().get(), 25);

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use triarch_simcore::{
-    AccessPattern, Cycles, CycleBreakdown, DramConfig, DramModel, KernelDemands,
-    ThroughputModel, WordMemory,
+    AccessPattern, CycleBreakdown, Cycles, DramConfig, DramModel, KernelDemands, ThroughputModel,
+    WordMemory,
 };
 
 proptest! {
@@ -82,5 +82,54 @@ proptest! {
         let mut ba = build(&b);
         ba.merge(&build(&a));
         prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn breakdown_merge_is_associative(
+        a in proptest::collection::vec((0usize..4, 0u64..1000), 0..10),
+        b in proptest::collection::vec((0usize..4, 0u64..1000), 0..10),
+        c in proptest::collection::vec((0usize..4, 0u64..1000), 0..10),
+    ) {
+        let cats = ["memory", "compute", "startup", "stall"];
+        let build = |entries: &[(usize, u64)]| {
+            let mut bd = CycleBreakdown::new();
+            for (cat, v) in entries {
+                bd.charge(cats[*cat], Cycles::new(*v));
+            }
+            bd
+        };
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        let mut bc = build(&b);
+        bc.merge(&build(&c));
+        let mut right = build(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Round trip: a breakdown emitted as counted spans and folded back
+    /// through the trace aggregator reproduces itself exactly.
+    #[test]
+    fn breakdown_survives_the_trace_round_trip(
+        entries in proptest::collection::vec((0usize..4, 1u64..1000), 0..20),
+    ) {
+        use triarch_simcore::trace::{aggregate, TraceEvent};
+        let cats = ["memory", "compute", "startup", "stall"];
+        let mut bd = CycleBreakdown::new();
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for (cat, v) in &entries {
+            bd.charge(cats[*cat], Cycles::new(*v));
+            events.push(TraceEvent::Span {
+                track: "m", category: cats[*cat], name: "n",
+                start: t, dur: *v, counted: true,
+            });
+            t += *v;
+        }
+        let recovered = CycleBreakdown::from_trace(&aggregate(&events));
+        prop_assert_eq!(&recovered, &bd);
+        prop_assert_eq!(recovered.total(), Cycles::new(t));
     }
 }

@@ -1,0 +1,205 @@
+//! Folding an event stream back into per-category cycle totals.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+
+/// Per-category cycle totals recovered from a trace.
+///
+/// Only *counted* spans contribute (see [`TraceEvent::Span`]); the result is
+/// directly comparable to a machine's reported `CycleBreakdown`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceBreakdown {
+    totals: BTreeMap<&'static str, u64>,
+    events: u64,
+    last_cycle: u64,
+}
+
+impl TraceBreakdown {
+    /// An empty breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceBreakdown::default()
+    }
+
+    /// Folds one event in.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        self.events += 1;
+        self.last_cycle = self.last_cycle.max(event.end());
+        if let TraceEvent::Span { category, dur, counted: true, .. } = event {
+            *self.totals.entry(category).or_insert(0) += dur;
+        }
+    }
+
+    /// Total counted cycles in `category` (0 when absent).
+    #[must_use]
+    pub fn get(&self, category: &str) -> u64 {
+        self.totals.get(category).copied().unwrap_or(0)
+    }
+
+    /// Sum of counted cycles across all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.totals.values().sum()
+    }
+
+    /// Fraction of the total in `category` (0 when the total is 0).
+    #[must_use]
+    pub fn fraction(&self, category: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(category) as f64 / total as f64
+        }
+    }
+
+    /// Iterates categories and totals in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.totals.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of distinct categories seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Whether no counted cycles were observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.totals.is_empty()
+    }
+
+    /// Number of events folded in (all kinds, counted or not).
+    #[must_use]
+    pub fn events_observed(&self) -> u64 {
+        self.events
+    }
+
+    /// Largest end-cycle seen across all events.
+    #[must_use]
+    pub fn last_cycle(&self) -> u64 {
+        self.last_cycle
+    }
+}
+
+impl fmt::Display for TraceBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        let mut first = true;
+        for (cat, cycles) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            let pct = if total == 0 { 0.0 } else { 100.0 * cycles as f64 / total as f64 };
+            write!(f, "{cat}: {cycles} ({pct:.1}%)")?;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregates counted spans from a borrowed event stream.
+pub fn aggregate<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> TraceBreakdown {
+    let mut breakdown = TraceBreakdown::new();
+    for event in events {
+        breakdown.observe(event);
+    }
+    breakdown
+}
+
+/// A sink that folds events into a [`TraceBreakdown`] as they arrive,
+/// giving exact aggregation in O(categories) memory — paper-scale traces
+/// need never be stored to be validated.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateSink {
+    breakdown: TraceBreakdown,
+}
+
+impl AggregateSink {
+    /// An empty aggregator.
+    #[must_use]
+    pub fn new() -> Self {
+        AggregateSink::default()
+    }
+
+    /// The totals accumulated so far.
+    #[must_use]
+    pub fn breakdown(&self) -> &TraceBreakdown {
+        &self.breakdown
+    }
+
+    /// Consumes the sink, returning the totals.
+    #[must_use]
+    pub fn into_breakdown(self) -> TraceBreakdown {
+        self.breakdown
+    }
+}
+
+impl TraceSink for AggregateSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.breakdown.observe(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(category: &'static str, start: u64, dur: u64, counted: bool) -> TraceEvent {
+        TraceEvent::Span { track: "t", category, name: "n", start, dur, counted }
+    }
+
+    #[test]
+    fn only_counted_spans_contribute() {
+        let events = [
+            span("memory", 0, 100, true),
+            span("memory", 100, 40, true),
+            span("memory", 0, 90, false),
+            span("compute", 140, 60, true),
+            TraceEvent::Instant { track: "t", name: "mark", at: 200 },
+            TraceEvent::Counter { track: "t", name: "rows", at: 210, value: 4.0 },
+        ];
+        let agg = aggregate(&events);
+        assert_eq!(agg.get("memory"), 140);
+        assert_eq!(agg.get("compute"), 60);
+        assert_eq!(agg.get("absent"), 0);
+        assert_eq!(agg.total(), 200);
+        assert!((agg.fraction("memory") - 0.7).abs() < 1e-12);
+        assert_eq!(agg.events_observed(), 6);
+        assert_eq!(agg.last_cycle(), 210);
+        assert_eq!(agg.len(), 2);
+        assert!(!agg.is_empty());
+    }
+
+    #[test]
+    fn aggregate_sink_matches_batch_aggregation() {
+        let events = [span("a", 0, 5, true), span("b", 5, 7, true), span("a", 12, 3, false)];
+        let mut sink = AggregateSink::new();
+        for e in &events {
+            sink.record(*e);
+        }
+        assert_eq!(sink.breakdown(), &aggregate(&events));
+        assert_eq!(sink.into_breakdown().total(), 12);
+    }
+
+    #[test]
+    fn display_lists_percentages() {
+        let agg = aggregate(&[span("mem", 0, 75, true), span("alu", 75, 25, true)]);
+        let s = agg.to_string();
+        assert!(s.contains("mem: 75 (75.0%)"), "{s}");
+        assert!(s.contains("alu: 25 (25.0%)"), "{s}");
+        assert_eq!(TraceBreakdown::new().to_string(), "(empty)");
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(TraceBreakdown::new().fraction("x"), 0.0);
+    }
+}

@@ -40,9 +40,8 @@ pub mod vector;
 pub use config::ViramConfig;
 pub use vector::VectorUnit;
 
-use triarch_kernels::{
-    BeamSteeringWorkload, CornerTurnWorkload, CslcWorkload, SignalMachine,
-};
+use triarch_kernels::{BeamSteeringWorkload, CornerTurnWorkload, CslcWorkload, SignalMachine};
+use triarch_simcore::trace::TraceSink;
 use triarch_simcore::{KernelRun, MachineInfo, SimError};
 
 /// The VIRAM machine: configuration plus the Table 2 identity.
@@ -96,6 +95,30 @@ impl SignalMachine for Viram {
 
     fn beam_steering(&mut self, workload: &BeamSteeringWorkload) -> Result<KernelRun, SimError> {
         programs::beam_steering::run(&self.config, workload)
+    }
+
+    fn corner_turn_traced(
+        &mut self,
+        workload: &CornerTurnWorkload,
+        sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        programs::corner_turn::run_traced(&self.config, workload, sink)
+    }
+
+    fn cslc_traced(
+        &mut self,
+        workload: &CslcWorkload,
+        sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        programs::cslc::run_traced(&self.config, workload, sink)
+    }
+
+    fn beam_steering_traced(
+        &mut self,
+        workload: &BeamSteeringWorkload,
+        sink: &mut dyn TraceSink,
+    ) -> Result<KernelRun, SimError> {
+        programs::beam_steering::run_traced(&self.config, workload, sink)
     }
 }
 

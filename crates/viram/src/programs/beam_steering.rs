@@ -11,6 +11,7 @@
 
 use triarch_kernels::beam_steering::BeamSteeringWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
 use crate::config::ViramConfig;
@@ -31,6 +32,19 @@ const V_OUT: usize = 6;
 ///
 /// Returns [`SimError`] if tables and output do not fit in on-chip DRAM.
 pub fn run(cfg: &ViramConfig, workload: &BeamSteeringWorkload) -> Result<KernelRun, SimError> {
+    run_traced(cfg, workload, NullSink)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &ViramConfig,
+    workload: &BeamSteeringWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let e = workload.elements();
     let cal_a_base = 0usize;
     let cal_b_base = e;
@@ -40,7 +54,7 @@ pub fn run(cfg: &ViramConfig, workload: &BeamSteeringWorkload) -> Result<KernelR
         return Err(SimError::capacity("viram on-chip DRAM", needed, cfg.dram_words));
     }
 
-    let mut unit = VectorUnit::new(cfg)?;
+    let mut unit = VectorUnit::with_sink(cfg, sink)?;
     let cal_a: Vec<u32> = workload.cal_coarse().iter().map(|&v| v as u32).collect();
     let cal_b: Vec<u32> = workload.cal_fine().iter().map(|&v| v as u32).collect();
     unit.memory_mut().write_block_u32(cal_a_base, &cal_a)?;
@@ -52,8 +66,7 @@ pub fn run(cfg: &ViramConfig, workload: &BeamSteeringWorkload) -> Result<KernelR
         for d in 0..workload.directions() {
             let inc = workload.phase_inc()[d];
             // Per-direction phase ramp: inc·1, inc·2, …, inc·mvl.
-            let ramp: Vec<u32> =
-                (0..mvl).map(|i| inc.wrapping_mul(i as i32 + 1) as u32).collect();
+            let ramp: Vec<u32> = (0..mvl).map(|i| inc.wrapping_mul(i as i32 + 1) as u32).collect();
             unit.vset_table(V_RAMP, &ramp)?;
             let mut e0 = 0usize;
             while e0 < e {
@@ -78,8 +91,7 @@ pub fn run(cfg: &ViramConfig, workload: &BeamSteeringWorkload) -> Result<KernelR
                 unit.vint(IntOp::Add, V_SUM, V_CAL_A, V_CAL_B, 0, vl)?;
                 unit.vint(IntOp::Add, V_SUM, V_SUM, V_ACC, 0, vl)?;
                 unit.vint(IntOp::Shr, V_OUT, V_SUM, V_SUM, workload.shift(), vl)?;
-                let out_off =
-                    out_base + (dwell * workload.directions() + d) * e + e0;
+                let out_off = out_base + (dwell * workload.directions() + d) * e + e0;
                 unit.vstore_unit(V_OUT, out_off, vl)?;
                 unit.end_overlap()?;
                 // Result-dependency wait between the load pair and the

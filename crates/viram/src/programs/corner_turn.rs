@@ -22,6 +22,7 @@
 
 use triarch_kernels::corner_turn::CornerTurnWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
 use crate::config::ViramConfig;
@@ -72,21 +73,31 @@ impl PanelLayout {
 /// Returns [`SimError`] if even a single row band cannot fit on chip or
 /// the configuration is degenerate.
 pub fn run(cfg: &ViramConfig, workload: &CornerTurnWorkload) -> Result<KernelRun, SimError> {
+    run_traced(cfg, workload, NullSink)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &ViramConfig,
+    workload: &CornerTurnWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     if fits_on_chip(cfg, workload.rows(), workload.cols()) {
-        run_resident(cfg, workload)
+        resident_traced(cfg, workload, sink)
     } else {
-        run_streaming(cfg, workload)
+        streaming_traced(cfg, workload, sink)
     }
 }
 
 fn fits_on_chip(cfg: &ViramConfig, rows: usize, cols: usize) -> bool {
     let stripe = cfg.dram.row_words * cfg.dram.banks_per_wing();
     let src = PanelLayout::new(0, rows, cols + ROW_PAD_WORDS, stripe, cfg.mvl);
-    let dst_start = if cfg.dram.wings > 1 {
-        cfg.dram.wing_words.max(src.words(rows))
-    } else {
-        src.words(rows)
-    };
+    let dst_start =
+        if cfg.dram.wings > 1 { cfg.dram.wing_words.max(src.words(rows)) } else { src.words(rows) };
     let dst = PanelLayout::new(dst_start, cols, rows + ROW_PAD_WORDS, stripe, cfg.mvl);
     src.words(rows) <= dst_start && dst_start + dst.words(cols) <= cfg.dram_words
 }
@@ -96,17 +107,25 @@ fn fits_on_chip(cfg: &ViramConfig, rows: usize, cols: usize) -> bool {
 /// # Errors
 ///
 /// Returns [`SimError::Capacity`] when the padded matrix does not fit.
-pub fn run_resident(cfg: &ViramConfig, workload: &CornerTurnWorkload) -> Result<KernelRun, SimError> {
+pub fn run_resident(
+    cfg: &ViramConfig,
+    workload: &CornerTurnWorkload,
+) -> Result<KernelRun, SimError> {
+    resident_traced(cfg, workload, NullSink)
+}
+
+fn resident_traced<S: TraceSink>(
+    cfg: &ViramConfig,
+    workload: &CornerTurnWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let rows = workload.rows();
     let cols = workload.cols();
     let stripe = cfg.dram.row_words * cfg.dram.banks_per_wing();
     let src = PanelLayout::new(0, rows, cols + ROW_PAD_WORDS, stripe, cfg.mvl);
     // Destination in wing 1 (disjoint banks from the source stream).
-    let dst_start = if cfg.dram.wings > 1 {
-        cfg.dram.wing_words.max(src.words(rows))
-    } else {
-        src.words(rows)
-    };
+    let dst_start =
+        if cfg.dram.wings > 1 { cfg.dram.wing_words.max(src.words(rows)) } else { src.words(rows) };
     let dst = PanelLayout::new(dst_start, cols, rows + ROW_PAD_WORDS, stripe, cfg.mvl);
     if src.words(rows) > dst_start {
         return Err(SimError::capacity("viram wing 0", src.words(rows), dst_start));
@@ -116,7 +135,7 @@ pub fn run_resident(cfg: &ViramConfig, workload: &CornerTurnWorkload) -> Result<
         return Err(SimError::capacity("viram on-chip DRAM", needed, cfg.dram_words));
     }
 
-    let mut unit = VectorUnit::new(cfg)?;
+    let mut unit = VectorUnit::with_sink(cfg, sink)?;
 
     // Workload data is resident in on-chip DRAM (panel layout), as in the
     // paper: the corner turn measures on-chip bandwidth, not ingest.
@@ -137,8 +156,8 @@ pub fn run_resident(cfg: &ViramConfig, workload: &CornerTurnWorkload) -> Result<
 }
 
 /// The strided-load / unit-store panel transpose over on-chip data.
-fn transpose_on_chip(
-    unit: &mut VectorUnit,
+fn transpose_on_chip<S: TraceSink>(
+    unit: &mut VectorUnit<S>,
     src: &PanelLayout,
     dst: &PanelLayout,
     rows: usize,
@@ -166,7 +185,18 @@ fn transpose_on_chip(
 /// # Errors
 ///
 /// Returns [`SimError::Capacity`] when even one row band cannot fit.
-pub fn run_streaming(cfg: &ViramConfig, workload: &CornerTurnWorkload) -> Result<KernelRun, SimError> {
+pub fn run_streaming(
+    cfg: &ViramConfig,
+    workload: &CornerTurnWorkload,
+) -> Result<KernelRun, SimError> {
+    streaming_traced(cfg, workload, NullSink)
+}
+
+fn streaming_traced<S: TraceSink>(
+    cfg: &ViramConfig,
+    workload: &CornerTurnWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let rows = workload.rows();
     let cols = workload.cols();
     let mut band = rows;
@@ -181,7 +211,7 @@ pub fn run_streaming(cfg: &ViramConfig, workload: &CornerTurnWorkload) -> Result
         ));
     }
 
-    let mut unit = VectorUnit::new(cfg)?;
+    let mut unit = VectorUnit::with_sink(cfg, sink)?;
     let data = workload.source_slice();
     let mut out = vec![0u32; rows * cols];
     let stripe = cfg.dram.row_words * cfg.dram.banks_per_wing();
@@ -190,11 +220,8 @@ pub fn run_streaming(cfg: &ViramConfig, workload: &CornerTurnWorkload) -> Result
     while r0 < rows {
         let h = band.min(rows - r0);
         let src = PanelLayout::new(0, h, cols + ROW_PAD_WORDS, stripe, cfg.mvl);
-        let dst_start = if cfg.dram.wings > 1 {
-            cfg.dram.wing_words.max(src.words(h))
-        } else {
-            src.words(h)
-        };
+        let dst_start =
+            if cfg.dram.wings > 1 { cfg.dram.wing_words.max(src.words(h)) } else { src.words(h) };
         let dst = PanelLayout::new(dst_start, cols, h + ROW_PAD_WORDS, stripe, cfg.mvl);
 
         // DMA the band in through the off-chip interface.

@@ -8,6 +8,7 @@
 use triarch_fft::Cf32;
 use triarch_kernels::cslc::CslcWorkload;
 use triarch_kernels::verify::verify_complex;
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
 use super::vfft::{regs, VfftPlan};
@@ -21,6 +22,19 @@ use crate::vector::{FpOp, VectorUnit};
 /// Returns [`SimError`] if the working set does not fit in on-chip DRAM or
 /// the FFT length is unsupported by the vector register file.
 pub fn run(cfg: &ViramConfig, workload: &CslcWorkload) -> Result<KernelRun, SimError> {
+    run_traced(cfg, workload, NullSink)
+}
+
+/// Like [`run`], but emits cycle-attribution trace events into `sink`.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced<S: TraceSink>(
+    cfg: &ViramConfig,
+    workload: &CslcWorkload,
+    sink: S,
+) -> Result<KernelRun, SimError> {
     let c = *workload.config();
     let n = c.fft_len;
     let hop = c.hop();
@@ -31,8 +45,7 @@ pub fn run(cfg: &ViramConfig, workload: &CslcWorkload) -> Result<KernelRun, SimE
     // --- planar memory layout -------------------------------------------------
     let ch_base = |ch: usize| ch * 2 * s_words; // re plane, then im plane
     let w_base = channels * 2 * s_words;
-    let weights_at =
-        |m: usize, a: usize| w_base + (m * c.aux_channels + a) * 2 * band_words;
+    let weights_at = |m: usize, a: usize| w_base + (m * c.aux_channels + a) * 2 * band_words;
     let spec_base = w_base + c.main_channels * c.aux_channels * 2 * band_words;
     let spec_at = |ch: usize, s: usize| spec_base + (ch * c.subbands + s) * 2 * n;
     let out_base = spec_base + channels * 2 * band_words;
@@ -42,7 +55,7 @@ pub fn run(cfg: &ViramConfig, workload: &CslcWorkload) -> Result<KernelRun, SimE
         return Err(SimError::capacity("viram on-chip DRAM", needed, cfg.dram_words));
     }
 
-    let mut unit = VectorUnit::new(cfg)?;
+    let mut unit = VectorUnit::with_sink(cfg, sink)?;
 
     // Stage resident data (uncharged: inputs arrive via DMA ahead of the
     // processing interval).
@@ -69,24 +82,26 @@ pub fn run(cfg: &ViramConfig, workload: &CslcWorkload) -> Result<KernelRun, SimE
 
     let lo = n.min(cfg.mvl);
     let hi = n - lo;
-    let load_planar = |unit: &mut VectorUnit, re_addr: usize, im_addr: usize| -> Result<(), SimError> {
-        unit.vload_unit(regs::DATA_A[0], re_addr, lo)?;
-        unit.vload_unit(regs::DATA_A[2], im_addr, lo)?;
-        if hi > 0 {
-            unit.vload_unit(regs::DATA_A[1], re_addr + lo, hi)?;
-            unit.vload_unit(regs::DATA_A[3], im_addr + lo, hi)?;
-        }
-        Ok(())
-    };
-    let store_planar = |unit: &mut VectorUnit, re_addr: usize, im_addr: usize| -> Result<(), SimError> {
-        unit.vstore_unit(regs::DATA_A[0], re_addr, lo)?;
-        unit.vstore_unit(regs::DATA_A[2], im_addr, lo)?;
-        if hi > 0 {
-            unit.vstore_unit(regs::DATA_A[1], re_addr + lo, hi)?;
-            unit.vstore_unit(regs::DATA_A[3], im_addr + lo, hi)?;
-        }
-        Ok(())
-    };
+    let load_planar =
+        |unit: &mut VectorUnit<S>, re_addr: usize, im_addr: usize| -> Result<(), SimError> {
+            unit.vload_unit(regs::DATA_A[0], re_addr, lo)?;
+            unit.vload_unit(regs::DATA_A[2], im_addr, lo)?;
+            if hi > 0 {
+                unit.vload_unit(regs::DATA_A[1], re_addr + lo, hi)?;
+                unit.vload_unit(regs::DATA_A[3], im_addr + lo, hi)?;
+            }
+            Ok(())
+        };
+    let store_planar =
+        |unit: &mut VectorUnit<S>, re_addr: usize, im_addr: usize| -> Result<(), SimError> {
+            unit.vstore_unit(regs::DATA_A[0], re_addr, lo)?;
+            unit.vstore_unit(regs::DATA_A[2], im_addr, lo)?;
+            if hi > 0 {
+                unit.vstore_unit(regs::DATA_A[1], re_addr + lo, hi)?;
+                unit.vstore_unit(regs::DATA_A[3], im_addr + lo, hi)?;
+            }
+            Ok(())
+        };
 
     // --- phase 1: forward FFT of every channel window -------------------------
     let forward = VfftPlan::new(n, cfg.mvl, false)?;

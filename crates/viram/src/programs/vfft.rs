@@ -9,6 +9,7 @@
 //! increase the number of cycles by a factor of 1.67").
 
 use triarch_fft::twiddle::bit_reverse;
+use triarch_simcore::trace::TraceSink;
 use triarch_simcore::SimError;
 
 use crate::vector::{FpOp, VectorUnit};
@@ -85,8 +86,7 @@ impl VfftPlan {
         let bits = n.trailing_zeros();
         let lo_len = n.min(mvl);
         let bitrev_lo: Vec<usize> = (0..lo_len).map(|i| bit_reverse(i, bits)).collect();
-        let bitrev_hi: Vec<usize> =
-            (lo_len..n).map(|i| bit_reverse(i, bits)).collect();
+        let bitrev_hi: Vec<usize> = (lo_len..n).map(|i| bit_reverse(i, bits)).collect();
 
         let mut stages = Vec::new();
         let mut len = 2;
@@ -98,7 +98,8 @@ impl VfftPlan {
             let mut gather_b = Vec::with_capacity(n / 2);
             let mut w_re = Vec::with_capacity(n / 2);
             let mut w_im = Vec::with_capacity(n / 2);
-            #[allow(clippy::needless_range_loop)] // `i` is the butterfly position, not an index into a slice we iterate
+            #[allow(clippy::needless_range_loop)]
+            // `i` is the butterfly position, not an index into a slice we iterate
             for i in 0..n {
                 if i & half == 0 {
                     let r = gather_a.len();
@@ -147,7 +148,7 @@ impl VfftPlan {
     /// # Errors
     ///
     /// Propagates register/length errors from the unit.
-    pub fn load_tables(&self, unit: &mut VectorUnit) -> Result<(), SimError> {
+    pub fn load_tables<S: TraceSink>(&self, unit: &mut VectorUnit<S>) -> Result<(), SimError> {
         for (s, stage) in self.stages.iter().enumerate().skip(1) {
             let base = regs::TABLES + 2 * (s - 1);
             unit.vset_table(base, &stage.w_re)?;
@@ -168,7 +169,7 @@ impl VfftPlan {
     ///
     /// Propagates unit errors; table registers must have been loaded via
     /// [`load_tables`](Self::load_tables).
-    pub fn execute(&self, unit: &mut VectorUnit) -> Result<(), SimError> {
+    pub fn execute<S: TraceSink>(&self, unit: &mut VectorUnit<S>) -> Result<(), SimError> {
         let nb = self.n / 2; // butterflies per stage, = gather length
         let lo_len = self.n.min(self.mvl);
         let mut cur = regs::DATA_A;
@@ -298,11 +299,7 @@ mod tests {
             let x = signal(n);
             let got = run_vfft(n, &x, false);
             let want = dft_naive(&x);
-            let err = got
-                .iter()
-                .zip(&want)
-                .map(|(a, b)| a.max_abs_diff(*b))
-                .fold(0.0f32, f32::max);
+            let err = got.iter().zip(&want).map(|(a, b)| a.max_abs_diff(*b)).fold(0.0f32, f32::max);
             assert!(err < 1e-3 * n as f32, "n={n} err={err}");
         }
     }
@@ -313,8 +310,7 @@ mod tests {
         let x = signal(n);
         let forward = run_vfft(n, &x, false);
         let back = run_vfft(n, &forward, true);
-        let err =
-            back.iter().zip(&x).map(|(a, b)| a.max_abs_diff(*b)).fold(0.0f32, f32::max);
+        let err = back.iter().zip(&x).map(|(a, b)| a.max_abs_diff(*b)).fold(0.0f32, f32::max);
         assert!(err < 1e-4, "round-trip err={err}");
     }
 

@@ -13,13 +13,20 @@
 //! larger is charged, modeling the deep decoupling between the DRAM
 //! interface and the vector pipeline.
 
+use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
-    AccessPattern, Cycles, CycleBreakdown, DramModel, KernelRun, SimError, Verification,
-    WordMemory,
+    AccessPattern, CycleBreakdown, Cycles, DramModel, KernelRun, SimError, Verification, WordMemory,
 };
 
 use crate::config::ViramConfig;
 use crate::tlb::Tlb;
+
+/// Trace track for the memory pipeline (loads/stores, precharge, TLB).
+const TRACK_MEM: &str = "viram.mem";
+/// Trace track for the vector/scalar pipelines (compute, shuffle, startup).
+const TRACK_VEC: &str = "viram.vec";
+/// Trace track for DRAM cost decomposition detail (uncounted).
+const TRACK_DRAM: &str = "viram.dram";
 
 /// Floating-point vector operations (execute on ALU0 only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,15 +50,43 @@ pub enum IntOp {
     Shr,
 }
 
+/// One side (memory or compute) of an open overlap region: per-category
+/// totals with `&'static str` keys so the winner can be replayed as counted
+/// trace spans at [`VectorUnit::end_overlap`].
+#[derive(Debug, Default, Clone)]
+struct SideAcc {
+    entries: Vec<(&'static str, Cycles)>,
+}
+
+impl SideAcc {
+    fn charge(&mut self, category: &'static str, cycles: Cycles) {
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| *k == category) {
+            entry.1 += cycles;
+        } else {
+            self.entries.push((category, cycles));
+        }
+    }
+
+    fn total(&self) -> Cycles {
+        self.entries.iter().map(|(_, c)| *c).sum()
+    }
+}
+
 #[derive(Debug, Default, Clone)]
 struct OverlapAcc {
-    mem: CycleBreakdown,
-    compute: CycleBreakdown,
+    mem: SideAcc,
+    compute: SideAcc,
+    /// Cycle cursor (== charged total) when the region opened.
+    start: u64,
 }
 
 /// The functional-plus-timing vector unit.
+///
+/// Generic over a [`TraceSink`]; the default [`NullSink`] is statically
+/// dispatched, disabled, and empty, so an untraced unit pays nothing for
+/// the instrumentation.
 #[derive(Debug, Clone)]
-pub struct VectorUnit {
+pub struct VectorUnit<S: TraceSink = NullSink> {
     cfg: ViramConfig,
     regs: Vec<Vec<u32>>,
     mem: WordMemory,
@@ -62,15 +97,28 @@ pub struct VectorUnit {
     ops: u64,
     mem_words: u64,
     overlap: Option<OverlapAcc>,
+    sink: S,
 }
 
-impl VectorUnit {
-    /// Builds a vector unit (register file, DRAM, TLB) from a config.
+impl VectorUnit<NullSink> {
+    /// Builds an untraced vector unit (register file, DRAM, TLB) from a
+    /// config.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
     pub fn new(cfg: &ViramConfig) -> Result<Self, SimError> {
+        Self::with_sink(cfg, NullSink)
+    }
+}
+
+impl<S: TraceSink> VectorUnit<S> {
+    /// Builds a vector unit that emits cycle-attribution events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
+    pub fn with_sink(cfg: &ViramConfig, sink: S) -> Result<Self, SimError> {
         cfg.validate()?;
         Ok(VectorUnit {
             regs: vec![vec![0; cfg.mvl]; cfg.vregs],
@@ -83,6 +131,7 @@ impl VectorUnit {
             mem_words: 0,
             overlap: None,
             cfg: cfg.clone(),
+            sink,
         })
     }
 
@@ -127,19 +176,30 @@ impl VectorUnit {
         Ok(())
     }
 
-    fn charge(&mut self, is_mem: bool, category: &'static str, cycles: Cycles) {
+    fn charge(&mut self, is_mem: bool, category: &'static str, name: &'static str, cycles: Cycles) {
         if cycles == Cycles::ZERO {
             return;
         }
+        let track = if is_mem { TRACK_MEM } else { TRACK_VEC };
         match &mut self.overlap {
             Some(acc) => {
-                if is_mem {
-                    acc.mem.charge(category, cycles);
-                } else {
-                    acc.compute.charge(category, cycles);
+                let side = if is_mem { &mut acc.mem } else { &mut acc.compute };
+                if self.sink.is_enabled() {
+                    // Inside an overlap region only the slower pipeline will
+                    // be charged (at end_overlap); per-op spans here are
+                    // uncounted detail on each pipeline's own timeline.
+                    let at = acc.start + side.total().get();
+                    self.sink.span_uncounted(track, category, name, at, cycles.get());
                 }
+                side.charge(category, cycles);
             }
-            None => self.breakdown.charge(category, cycles),
+            None => {
+                if self.sink.is_enabled() {
+                    let at = self.breakdown.total().get();
+                    self.sink.span(track, category, name, at, cycles.get());
+                }
+                self.breakdown.charge(category, cycles);
+            }
         }
     }
 
@@ -152,12 +212,21 @@ impl VectorUnit {
         if self.overlap.is_some() {
             return Err(SimError::unsupported("nested overlap regions"));
         }
-        self.overlap = Some(OverlapAcc::default());
+        let start = self.breakdown.total().get();
+        if self.sink.is_enabled() {
+            self.sink.instant(TRACK_VEC, "overlap-begin", start);
+        }
+        self.overlap = Some(OverlapAcc { start, ..OverlapAcc::default() });
         Ok(())
     }
 
     /// Closes the overlap region: the slower of the two pipelines is
     /// charged; the faster pipeline's cycles are recorded as hidden.
+    ///
+    /// When tracing, the winning side's per-category totals are emitted as
+    /// *counted* spans tiling `[start, start + winner_total)`, so the trace
+    /// aggregation reproduces the breakdown exactly while the per-op detail
+    /// recorded during the region stays uncounted.
     ///
     /// # Errors
     ///
@@ -169,13 +238,23 @@ impl VectorUnit {
             .ok_or_else(|| SimError::unsupported("end_overlap without begin_overlap"))?;
         let mem_total = acc.mem.total();
         let comp_total = acc.compute.total();
-        if mem_total >= comp_total {
-            self.breakdown.merge(&acc.mem);
-            self.hidden += comp_total;
+        let (winner, winner_track, hidden) = if mem_total >= comp_total {
+            (&acc.mem, TRACK_MEM, comp_total)
         } else {
-            self.breakdown.merge(&acc.compute);
-            self.hidden += mem_total;
+            (&acc.compute, TRACK_VEC, mem_total)
+        };
+        if self.sink.is_enabled() {
+            let mut t = acc.start;
+            for &(category, cycles) in &winner.entries {
+                self.sink.span(winner_track, category, "overlap-charged", t, cycles.get());
+                t += cycles.get();
+            }
+            self.sink.instant(TRACK_VEC, "overlap-end", t);
         }
+        for &(category, cycles) in &winner.entries {
+            self.breakdown.charge(category, cycles);
+        }
+        self.hidden += hidden;
         Ok(())
     }
 
@@ -206,6 +285,7 @@ impl VectorUnit {
         addr: usize,
         stride: Option<usize>,
         vl: usize,
+        name: &'static str,
     ) -> Result<(), SimError> {
         let (pattern, misses) = match stride {
             Some(s) => {
@@ -216,12 +296,27 @@ impl VectorUnit {
             }
             None => (AccessPattern::Sequential, self.tlb_walk_unit(addr, vl)),
         };
-        let cost = self.dram.transfer(addr, vl, pattern)?;
+        let cursor = self.mem_cursor();
+        let cost =
+            self.dram.transfer_observed(addr, vl, pattern, &mut self.sink, TRACK_DRAM, cursor)?;
         self.mem_words += vl as u64;
-        self.charge(true, "memory", cost.data + cost.startup + Cycles::new(self.cfg.mem_startup));
-        self.charge(true, "precharge", cost.overhead);
-        self.charge(true, "tlb", Cycles::new(misses * self.cfg.tlb_miss_cycles));
+        self.charge(
+            true,
+            "memory",
+            name,
+            cost.data + cost.startup + Cycles::new(self.cfg.mem_startup),
+        );
+        self.charge(true, "precharge", "row-precharge-activate", cost.overhead);
+        self.charge(true, "tlb", "tlb-miss-stall", Cycles::new(misses * self.cfg.tlb_miss_cycles));
         Ok(())
+    }
+
+    /// Current cycle position of the memory pipeline (for span placement).
+    fn mem_cursor(&self) -> u64 {
+        match &self.overlap {
+            Some(acc) => acc.start + acc.mem.total().get(),
+            None => self.breakdown.total().get(),
+        }
     }
 
     /// Unit-stride vector load.
@@ -235,7 +330,7 @@ impl VectorUnit {
         self.check_vl(vl)?;
         let data = self.mem.read_block_u32(addr, vl)?;
         self.regs[vr][..vl].copy_from_slice(&data);
-        self.mem_op(addr, None, vl)
+        self.mem_op(addr, None, vl, "vload.unit")
     }
 
     /// Strided vector load (one element every `stride` words).
@@ -256,7 +351,7 @@ impl VectorUnit {
         for i in 0..vl {
             self.regs[vr][i] = self.mem.read_u32(addr + i * stride)?;
         }
-        self.mem_op(addr, Some(stride), vl)
+        self.mem_op(addr, Some(stride), vl, "vload.strided")
     }
 
     /// Unit-stride vector store.
@@ -270,7 +365,7 @@ impl VectorUnit {
         self.check_vl(vl)?;
         let data: Vec<u32> = self.regs[vr][..vl].to_vec();
         self.mem.write_block_u32(addr, &data)?;
-        self.mem_op(addr, None, vl)
+        self.mem_op(addr, None, vl, "vstore.unit")
     }
 
     /// Strided vector store.
@@ -292,7 +387,7 @@ impl VectorUnit {
             let v = self.regs[vr][i];
             self.mem.write_u32(addr + i * stride, v)?;
         }
-        self.mem_op(addr, Some(stride), vl)
+        self.mem_op(addr, Some(stride), vl, "vstore.strided")
     }
 
     /// Lane-wise floating-point operation `dst = a (op) b` over `vl`
@@ -301,7 +396,14 @@ impl VectorUnit {
     /// # Errors
     ///
     /// Returns [`SimError`] for bad registers or lengths.
-    pub fn vfp(&mut self, op: FpOp, dst: usize, a: usize, b: usize, vl: usize) -> Result<(), SimError> {
+    pub fn vfp(
+        &mut self,
+        op: FpOp,
+        dst: usize,
+        a: usize,
+        b: usize,
+        vl: usize,
+    ) -> Result<(), SimError> {
         self.check_reg(dst)?;
         self.check_reg(a)?;
         self.check_reg(b)?;
@@ -318,8 +420,8 @@ impl VectorUnit {
         }
         self.ops += vl as u64;
         let data = vl.div_ceil(self.cfg.fp_ops_per_cycle()) as u64;
-        self.charge(false, "compute", Cycles::new(data));
-        self.charge(false, "startup", Cycles::new(self.cfg.vector_startup));
+        self.charge(false, "compute", "vfp", Cycles::new(data));
+        self.charge(false, "startup", "vector-startup", Cycles::new(self.cfg.vector_startup));
         Ok(())
     }
 
@@ -355,8 +457,8 @@ impl VectorUnit {
         }
         self.ops += vl as u64;
         let data = vl.div_ceil(self.cfg.int_ops_per_cycle()) as u64;
-        self.charge(false, "compute", Cycles::new(data));
-        self.charge(false, "startup", Cycles::new(self.cfg.vector_startup));
+        self.charge(false, "compute", "vint", Cycles::new(data));
+        self.charge(false, "startup", "vector-startup", Cycles::new(self.cfg.vector_startup));
         Ok(())
     }
 
@@ -371,7 +473,7 @@ impl VectorUnit {
         for i in 0..vl {
             self.regs[dst][i] = value;
         }
-        self.charge(false, "startup", Cycles::new(self.cfg.vector_startup));
+        self.charge(false, "startup", "vsplat", Cycles::new(self.cfg.vector_startup));
         Ok(())
     }
 
@@ -389,6 +491,7 @@ impl VectorUnit {
         self.charge(
             true,
             "memory",
+            "vset-table",
             Cycles::new(
                 values.len().div_ceil(self.cfg.dram.seq_words_per_cycle as usize) as u64
                     + self.cfg.mem_startup,
@@ -431,14 +534,14 @@ impl VectorUnit {
         self.regs[dst][..idx.len()].copy_from_slice(&out);
         let raw = idx.len().div_ceil(self.cfg.int_ops_per_cycle()) as u64;
         let visible = ((raw as f64) * self.cfg.int_visibility).ceil() as u64;
-        self.charge(false, "shuffle", Cycles::new(visible));
-        self.charge(false, "startup", Cycles::new(self.cfg.vector_startup));
+        self.charge(false, "shuffle", "vperm2", Cycles::new(visible));
+        self.charge(false, "startup", "vector-startup", Cycles::new(self.cfg.vector_startup));
         Ok(())
     }
 
     /// Charges scalar-core cycles (loop control, address arithmetic).
     pub fn scalar(&mut self, cycles: u64) {
-        self.charge(false, "scalar", Cycles::new(cycles));
+        self.charge(false, "scalar", "scalar-core", Cycles::new(cycles));
     }
 
     /// Charges an off-chip DMA transfer of `words` at the configured
@@ -449,7 +552,7 @@ impl VectorUnit {
     pub fn dma(&mut self, words: usize) {
         let data = (words as u64).div_ceil(u64::from(self.cfg.offchip_words_per_cycle));
         self.mem_words += words as u64;
-        self.charge(true, "dma", Cycles::new(data + self.cfg.offchip_startup));
+        self.charge(true, "dma", "dma-offchip", Cycles::new(data + self.cfg.offchip_startup));
     }
 
     /// Total cycles charged so far.

@@ -1,0 +1,319 @@
+//! Value-generation strategies: ranges, tuples, vectors, combinators.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of an output type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// simply draws a fresh value from the runner's deterministic RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and samples the
+    /// result (mirrors `Strategy::prop_flat_map`).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Primitive types that can be drawn uniformly from a range.
+pub trait RangeValue: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; caller guarantees non-empty.
+    fn draw_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`; caller guarantees `lo <= hi`.
+    fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl RangeValue for $t {
+            fn draw_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                let off = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+            fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                let span_m1 = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span_m1 == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off =
+                    ((u128::from(rng.next_u64()) * u128::from(span_m1 + 1)) >> 64) as u64;
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_int!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+macro_rules! impl_range_value_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl RangeValue for $t {
+            fn draw_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = lo + (hi - lo) * unit as $t;
+                if v >= hi { lo } else { v }
+            }
+            fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                lo + (hi - lo) * unit as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_float!(f32, f64);
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::draw_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        T::draw_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "any value" strategy (mirrors `proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only: arbitrary bit patterns would include NaN/inf,
+        // which none of the workspace properties expect from `any::<f32>()`.
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        (unit - 0.5) * 2e6
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T` (mirrors `proptest::prelude::any`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: PhantomData }
+}
+
+/// Inclusive bounds for generated collection lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn draw(self, rng: &mut TestRng) -> usize {
+        usize::draw_inclusive(rng, self.lo, self.hi)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// See [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..2000 {
+            let v = (0usize..4096).generate(&mut rng);
+            assert!(v < 4096);
+            let w = (1u32..=9).generate(&mut rng);
+            assert!((1..=9).contains(&w));
+            let (a, b) = (0usize..4, 0u64..1000).generate(&mut rng);
+            assert!(a < 4 && b < 1000);
+            let f = (-100.0f32..100.0).generate(&mut rng);
+            assert!((-100.0..100.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_bounds() {
+        let mut rng = TestRng::new(2);
+        let s = crate::collection::vec(0u64..10, 0..10);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 10);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let exact = crate::collection::vec(0u64..10, 8..=8);
+        assert_eq!(exact.generate(&mut rng).len(), 8);
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::new(3);
+        let s = (1u32..=4).prop_flat_map(|bits| {
+            let n = 1usize << bits;
+            crate::collection::vec((0.0f32..1.0).prop_map(|x| x * 2.0), n..=n)
+        });
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.len().is_power_of_two() && v.len() >= 2 && v.len() <= 16);
+            assert!(v.iter().all(|&x| (0.0..2.0).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: smaller than upstream's 256 because several workspace
+    /// properties run full simulator kernels per case.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (mirrors `proptest::test_runner::TestCaseError`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure carrying `message`.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runs one property over many generated cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Builds a runner for the named property.
+    ///
+    /// The RNG seed is derived from the property name (FNV-1a), so each
+    /// property sees a stable, reproducible stream across runs while
+    /// different properties explore different corners.
+    #[must_use]
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { config, name, seed }
+    }
+
+    /// Generates and checks `config.cases` cases, panicking on the first
+    /// failure with the case index and seed (no shrinking).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any case returns [`TestCaseError`].
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::new(self.seed);
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut rng);
+            if let Err(err) = test(value) {
+                panic!(
+                    "property `{}` failed at case {}/{} (seed {:#018x}): {}",
+                    self.name, case, self.config.cases, self.seed, err
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let a = TestRunner::new(ProptestConfig::default(), "prop_x").seed;
+        let b = TestRunner::new(ProptestConfig::default(), "prop_x").seed;
+        let c = TestRunner::new(ProptestConfig::default(), "prop_y").seed;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn failing_case_reports_index() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(50), "always_fails");
+            runner.run(&(0u64..10,), |(v,)| Err(TestCaseError::fail(format!("saw {v}"))));
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("case 0/50"), "{msg}");
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "count");
+        let counter = std::cell::Cell::new(0u32);
+        runner.run(&(0u64..10,), |(_,)| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 10);
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for the tiny slice of the `rand` crate this workspace
+//! uses: `StdRng`, [`SeedableRng::seed_from_u64`], [`Rng::gen`] and
+//! [`Rng::gen_range`] over primitive half-open ranges.
+//!
+//! The build environment has no crates.io access, so rather than feature-gate
+//! every call site the workspace vendors this API-compatible subset. The
+//! generator is SplitMix64 — statistically fine for building synthetic
+//! workloads, and deterministic per seed. It is **not** the same stream as
+//! upstream `rand`'s ChaCha-based `StdRng`, which is acceptable here because
+//! every consumer treats the values as arbitrary data: simulated cycle counts
+//! depend on addresses and shapes, never on the sampled values themselves,
+//! and all reproduction tests check bands/orderings rather than exact
+//! value-dependent cycle counts.
+//!
+//! Not cryptographically secure; do not use outside this workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Value generation, mirroring the subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Returns the next 64 raw bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniformly distributed value of `T` (mirrors `Rng::gen`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range (mirrors `Rng::gen_range`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+/// Types samplable from raw bits (mirrors `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 24 high-quality mantissa bits -> [0, 1).
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types uniformly samplable over a range (mirrors `rand::distributions::uniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws one value in `[low, high)`; the caller guarantees `low < high`.
+    fn sample_range<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny modulo
+                // bias of plain `% span` would also be fine for workloads,
+                // but this is just as cheap.
+                let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                ((low as $wide).wrapping_add(hi as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl SampleUniform for f32 {
+    fn sample_range<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit: f32 = Standard::sample(rng);
+        let v = low + (high - low) * unit;
+        // Guard against rounding up to the excluded endpoint.
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit: f64 = Standard::sample(rng);
+        let v = low + (high - low) * unit;
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64 core).
+    ///
+    /// API-compatible with `rand::rngs::StdRng` for the operations this
+    /// workspace performs; the output stream differs from upstream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood, OOPSLA 2014 public-domain
+            // reference implementation).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(-(1 << 20)..1 << 20);
+            assert!((-(1 << 20)..1 << 20).contains(&i));
+            let f = rng.gen_range(0.05f32..0.45);
+            assert!((0.05..0.45).contains(&f), "{f}");
+            let u = rng.gen_range(1usize..17);
+            assert!((1..17).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_covers_both_halves() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut high = 0usize;
+        for _ in 0..1000 {
+            if rng.gen::<u32>() > u32::MAX / 2 {
+                high += 1;
+            }
+        }
+        assert!((300..700).contains(&high), "suspiciously skewed: {high}");
+    }
+}

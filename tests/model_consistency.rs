@@ -66,10 +66,7 @@ fn viram_loses_its_advantage_off_chip() {
     let viram = Architecture::Viram.machine().unwrap().corner_turn(&w).unwrap().cycles;
     let imagine = Architecture::Imagine.machine().unwrap().corner_turn(&w).unwrap().cycles;
     let ratio = viram.ratio(imagine);
-    assert!(
-        ratio > 0.5 && ratio < 2.0,
-        "off-chip VIRAM should be Imagine-class, ratio {ratio:.2}"
-    );
+    assert!(ratio > 0.5 && ratio < 2.0, "off-chip VIRAM should be Imagine-class, ratio {ratio:.2}");
 }
 
 #[test]
@@ -94,16 +91,9 @@ fn faster_clocks_do_not_change_cycle_counts() {
     // the clock. Guard against accidental time/cycle mixing.
     let w = WorkloadSet::small(8).unwrap();
     let mut cfg_a = ViramConfig::paper();
-    let baseline = Viram::with_config(cfg_a.clone())
-        .unwrap()
-        .corner_turn(&w.corner_turn)
-        .unwrap()
-        .cycles;
+    let baseline =
+        Viram::with_config(cfg_a.clone()).unwrap().corner_turn(&w.corner_turn).unwrap().cycles;
     cfg_a.clock_mhz = 400.0;
-    let faster = Viram::with_config(cfg_a)
-        .unwrap()
-        .corner_turn(&w.corner_turn)
-        .unwrap()
-        .cycles;
+    let faster = Viram::with_config(cfg_a).unwrap().corner_turn(&w.corner_turn).unwrap().cycles;
     assert_eq!(baseline, faster);
 }
