@@ -20,6 +20,21 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== repro faultsweep smoke (deterministic, 2 campaigns) =="
+out1="$(cargo run --release -q -p triarch-bench --bin repro -- faultsweep --campaigns 2)"
+out2="$(cargo run --release -q -p triarch-bench --bin repro -- faultsweep --campaigns 2)"
+echo "$out1"
+if [ "$out1" != "$out2" ]; then
+  echo "faultsweep is not deterministic" >&2
+  exit 1
+fi
+
+echo "== repro rejects unknown selectors =="
+if cargo run --release -q -p triarch-bench --bin repro -- no-such-exhibit 2>/dev/null; then
+  echo "repro accepted an unknown selector" >&2
+  exit 1
+fi
+
 echo "== cargo doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

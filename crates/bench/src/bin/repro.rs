@@ -6,24 +6,138 @@
 //! ```
 //!
 //! Accepted selectors: `table1 table2 table3 table4 figure8 figure9
-//! breakdowns altivec claims ablations trace`.
+//! breakdowns altivec claims ablations trace faultsweep`.
 //!
 //! `trace [dir]` runs every machine × kernel pair with event tracing
 //! enabled and writes one Chrome `trace_event` JSON file and one CSV per
 //! pair under `dir` (default `target/traces`); open the JSON in
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! `faultsweep [--seed S] [--campaigns N] [--small]` runs every machine ×
+//! kernel pair under `N` seeded fault-injection campaigns and prints the
+//! per-architecture outcome-rate table (corrected / detected / silent
+//! data corruption / masked). The sweep is deterministic for a given
+//! seed. `--small` substitutes the reduced workload set for quick smoke
+//! runs.
+//!
+//! Unknown selectors or malformed flags exit with status 2 and a
+//! one-line diagnostic; simulation errors exit with status 1.
 
 use std::env;
 use std::fs;
 use std::path::Path;
+use std::process;
 
 use triarch_core::arch::Architecture;
-use triarch_core::{ablations, experiments};
+use triarch_core::{ablations, experiments, faultsweep};
 use triarch_kernels::Kernel;
 use triarch_simcore::trace::{export, AggregateSink, RingSink, TeeSink};
 
 /// Events retained per trace file; older events are counted as dropped.
 const RING_CAPACITY: usize = 1 << 18;
+
+/// Every selector the CLI accepts (flags are parsed separately).
+const SELECTORS: [&str; 12] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure8",
+    "figure9",
+    "breakdowns",
+    "altivec",
+    "claims",
+    "ablations",
+    "trace",
+    "faultsweep",
+];
+
+/// Parsed command line.
+struct Options {
+    /// Selectors in command-line order; empty means "run the default set".
+    selectors: Vec<String>,
+    /// Output directory for `trace`.
+    trace_dir: String,
+    /// Fault-sweep seed (`--seed`).
+    seed: u64,
+    /// Fault-sweep campaigns per machine × kernel pair (`--campaigns`).
+    campaigns: u64,
+    /// Use the reduced workload set for the fault sweep (`--small`).
+    small: bool,
+}
+
+impl Options {
+    /// Parses `args`, rejecting unknown selectors and malformed flags
+    /// with a one-line message.
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options {
+            selectors: Vec::new(),
+            trace_dir: String::from("target/traces"),
+            seed: triarch_bench::SEED,
+            campaigns: 8,
+            small: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            match arg {
+                "--seed" | "--campaigns" => {
+                    let value = args.get(i + 1).ok_or_else(|| format!("{arg} requires a value"))?;
+                    let parsed: u64 = value.parse().map_err(|_| {
+                        format!("{arg} requires an unsigned integer, got '{value}'")
+                    })?;
+                    if arg == "--seed" {
+                        opts.seed = parsed;
+                    } else {
+                        if parsed == 0 {
+                            return Err(String::from("--campaigns must be at least 1"));
+                        }
+                        opts.campaigns = parsed;
+                    }
+                    i += 2;
+                }
+                "--small" => {
+                    opts.small = true;
+                    i += 1;
+                }
+                "trace" => {
+                    opts.selectors.push(String::from("trace"));
+                    // An optional output directory may follow.
+                    if let Some(next) = args.get(i + 1) {
+                        if !SELECTORS.contains(&next.as_str()) && !next.starts_with("--") {
+                            opts.trace_dir.clone_from(next);
+                            i += 1;
+                        }
+                    }
+                    i += 1;
+                }
+                s if SELECTORS.contains(&s) => {
+                    opts.selectors.push(String::from(s));
+                    i += 1;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown selector '{other}' (expected one of: {})",
+                        SELECTORS.join(" ")
+                    ));
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Whether `name` should run: explicitly selected, or (for exhibits
+    /// that participate in the run-everything default) no selector given.
+    fn want(&self, name: &str) -> bool {
+        self.explicit(name)
+            || (self.selectors.is_empty() && name != "trace" && name != "faultsweep")
+    }
+
+    /// Whether `name` was explicitly selected on the command line.
+    fn explicit(&self, name: &str) -> bool {
+        self.selectors.iter().any(|s| s == name)
+    }
+}
 
 /// Lowercases a display name into a file-name slug.
 fn slug(name: &str) -> String {
@@ -70,47 +184,51 @@ fn dump_traces(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let all = args.is_empty();
-    let want = |name: &str| all || args.iter().any(|a| a == name);
+/// Runs the seeded fault-injection sweep and prints the outcome table.
+fn run_faultsweep(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let workloads = if opts.small {
+        triarch_bench::small_workloads()
+    } else {
+        triarch_bench::paper_workloads()
+    };
+    eprintln!(
+        "running fault sweep: seed {}, {} campaigns, {} workloads ...",
+        opts.seed,
+        opts.campaigns,
+        if opts.small { "small" } else { "paper" },
+    );
+    let table = faultsweep::sweep(&workloads, opts.seed, opts.campaigns)?;
+    println!("== Fault-injection sweep ==");
+    println!("{}", table.render());
+    Ok(())
+}
 
-    if want("table1") {
+fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    if opts.want("table1") {
         println!("== Table 1: peak throughput (32-bit words per cycle) ==");
         println!("{}", experiments::table1());
     }
-    if want("table2") {
+    if opts.want("table2") {
         println!("== Table 2: processor parameters ==");
         println!("{}", experiments::table2());
     }
 
     // `trace [dir]` is explicit-only (it writes files), so it does not
     // participate in the run-everything default.
-    if let Some(pos) = args.iter().position(|a| a == "trace") {
-        const SELECTORS: [&str; 11] = [
-            "table1",
-            "table2",
-            "table3",
-            "table4",
-            "figure8",
-            "figure9",
-            "breakdowns",
-            "altivec",
-            "claims",
-            "ablations",
-            "trace",
-        ];
-        let dir = args
-            .get(pos + 1)
-            .filter(|a| !SELECTORS.contains(&a.as_str()))
-            .map_or("target/traces", String::as_str);
-        dump_traces(Path::new(dir))?;
+    if opts.explicit("trace") {
+        dump_traces(Path::new(&opts.trace_dir))?;
+    }
+
+    // `faultsweep` is explicit-only too: it is a study of its own, not a
+    // paper exhibit.
+    if opts.explicit("faultsweep") {
+        run_faultsweep(opts)?;
     }
 
     let needs_runs =
         ["table3", "table4", "figure8", "figure9", "breakdowns", "altivec", "claims", "ablations"]
             .iter()
-            .any(|n| want(n));
+            .any(|n| opts.want(n));
     if !needs_runs {
         return Ok(());
     }
@@ -119,31 +237,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workloads = triarch_bench::paper_workloads();
     let table3 = experiments::table3(&workloads)?;
 
-    if want("table3") {
+    if opts.want("table3") {
         println!("== Table 3: experimental results (kilocycles) ==");
         println!("{}", table3.render());
         println!("== Table 3 vs published ==");
         println!("{}", table3.render_vs_paper());
     }
-    if want("table4") {
+    if opts.want("table4") {
         println!("== Table 4: performance-model lower bounds (kilocycles) ==");
         println!("{}", experiments::table4(&workloads)?);
     }
-    if want("figure8") {
+    if opts.want("figure8") {
         println!("== Figure 8: speedup over PPC+AltiVec (cycles) ==");
         println!("{}", experiments::figure8(&table3).render());
         println!("{}", experiments::figure8(&table3).render_chart(50));
     }
-    if want("figure9") {
+    if opts.want("figure9") {
         println!("== Figure 9: speedup over PPC+AltiVec (execution time) ==");
         println!("{}", experiments::figure9(&table3).render());
         println!("{}", experiments::figure9(&table3).render_chart(50));
     }
-    if want("breakdowns") {
+    if opts.want("breakdowns") {
         println!("== Section 4 cycle breakdowns ==");
         println!("{}", table3.render_breakdowns());
     }
-    if want("altivec") {
+    if opts.want("altivec") {
         println!("== Section 4.5: AltiVec gains over scalar PPC ==");
         for kernel in Kernel::ALL {
             let gain = table3.cycles(Architecture::Ppc, kernel).get() as f64
@@ -152,14 +270,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
-    if want("claims") {
+    if opts.want("claims") {
         println!("== Section 4 claims scorecard ==");
         let claims = triarch_core::claims::evaluate(&table3);
         println!("{}", triarch_core::claims::render(&claims));
     }
-    if want("ablations") {
+    if opts.want("ablations") {
         println!("== Ablations ==");
         println!("{}", ablations::render_all(&workloads)?);
     }
     Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            eprintln!(
+                "usage: repro [selector ...] [trace [dir]] \
+                 [faultsweep [--seed S] [--campaigns N] [--small]]"
+            );
+            process::exit(2);
+        }
+    };
+    if let Err(e) = run(&opts) {
+        eprintln!("repro: {e}");
+        process::exit(1);
+    }
 }

@@ -40,6 +40,7 @@ pub mod arch;
 pub mod chart;
 pub mod claims;
 pub mod experiments;
+pub mod faultsweep;
 pub mod paper;
 pub mod report;
 pub mod tracecheck;

@@ -1,0 +1,208 @@
+//! The fault surface the engines consult: domains, effects, and the
+//! [`FaultHook`] trait with its zero-cost [`NoFaults`] default.
+
+/// Where in a machine a fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultDomain {
+    /// Words crossing a DRAM interface (on-chip or off-chip).
+    Dram,
+    /// A vector lane (VIRAM ALU lane, AltiVec lane).
+    VectorLane,
+    /// An Imagine ALU cluster's output port.
+    Cluster,
+    /// A Raw tile's datapath.
+    Tile,
+}
+
+impl FaultDomain {
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultDomain::Dram => "dram",
+            FaultDomain::VectorLane => "vector-lane",
+            FaultDomain::Cluster => "cluster",
+            FaultDomain::Tile => "tile",
+        }
+    }
+}
+
+/// A bit-flip applied to one word of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordFlip {
+    /// Element index within the transfer (`0..words`); the engine maps it
+    /// to an address using the transfer's own stride/pattern.
+    pub offset: usize,
+    /// XOR mask applied to the word (one set bit per flipped bit).
+    pub xor_mask: u32,
+}
+
+/// A stuck-at fault in a compute domain, persistent for a whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckFault {
+    /// Which lane/cluster/tile is stuck (engines reduce modulo their
+    /// actual resource count).
+    pub index: usize,
+    /// Which bit of the 32-bit datapath is stuck.
+    pub bit: u8,
+    /// Stuck at one (`true`) or zero (`false`).
+    pub stuck_one: bool,
+}
+
+impl StuckFault {
+    /// Applies the stuck bit to a word.
+    #[must_use]
+    pub fn force(&self, word: u32) -> u32 {
+        let mask = 1u32 << (self.bit % 32);
+        if self.stuck_one {
+            word | mask
+        } else {
+            word & !mask
+        }
+    }
+}
+
+/// What a [`FaultHook`] did to one transfer: data corruption to apply,
+/// detection/recovery cycle costs to charge, and whether the transfer
+/// failed outright.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransferFaults {
+    /// Uncorrected bit flips the engine must apply to the transferred
+    /// words (silent corruption).
+    pub flips: Vec<WordFlip>,
+    /// ECC detection/correction cycles to charge (breakdown category
+    /// `"ecc"`).
+    pub ecc_cycles: u64,
+    /// Retry/backoff/stall cycles to charge (breakdown category
+    /// `"retry"`).
+    pub retry_cycles: u64,
+    /// When set, the transfer failed unrecoverably (double-bit ECC error
+    /// or retries exhausted); the engine must abort the run with its
+    /// detected-fault error carrying this description.
+    pub failure: Option<String>,
+}
+
+impl TransferFaults {
+    /// True when the transfer saw no fault effects at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.flips.is_empty()
+            && self.ecc_cycles == 0
+            && self.retry_cycles == 0
+            && self.failure.is_none()
+    }
+}
+
+/// The hook engines consult where simulated state crosses a fault surface.
+///
+/// Dyn-safe (campaign drivers pass `&mut dyn FaultHook` through the
+/// `SignalMachine` trait), with a blanket `&mut T` impl so generic engines
+/// accept both concrete injectors and trait objects. Implementations must
+/// be deterministic: effects may depend only on the hook's own state and
+/// the consultation arguments, never on wall-clock or addresses of
+/// allocations.
+pub trait FaultHook {
+    /// Whether any fault can ever fire. Engines gate every consultation on
+    /// this so the disabled path costs one inlined constant branch.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Consulted once per memory transfer of `words` elements starting at
+    /// `start_word`; returns the effects to apply.
+    fn transfer(&mut self, domain: FaultDomain, start_word: usize, words: usize) -> TransferFaults;
+
+    /// Consulted at compute points: an active stuck-at fault in `domain`,
+    /// if the plan has one.
+    fn stuck(&mut self, domain: FaultDomain) -> Option<StuckFault>;
+}
+
+impl<T: FaultHook + ?Sized> FaultHook for &mut T {
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+
+    fn transfer(&mut self, domain: FaultDomain, start_word: usize, words: usize) -> TransferFaults {
+        (**self).transfer(domain, start_word, words)
+    }
+
+    fn stuck(&mut self, domain: FaultDomain) -> Option<StuckFault> {
+        (**self).stuck(domain)
+    }
+}
+
+/// The default hook: statically disabled, injects nothing.
+///
+/// Mirrors `triarch_trace::NullSink`: engines are generic over
+/// `F: FaultHook = NoFaults`, so the unfaulted configuration is statically
+/// dispatched and the `is_enabled()` gate folds to `false` at compile
+/// time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    #[inline(always)]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn transfer(
+        &mut self,
+        _domain: FaultDomain,
+        _start_word: usize,
+        _words: usize,
+    ) -> TransferFaults {
+        TransferFaults::default()
+    }
+
+    #[inline(always)]
+    fn stuck(&mut self, _domain: FaultDomain) -> Option<StuckFault> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_disabled_and_clean() {
+        let mut h = NoFaults;
+        assert!(!h.is_enabled());
+        assert!(h.transfer(FaultDomain::Dram, 0, 1024).is_clean());
+        assert_eq!(h.stuck(FaultDomain::Tile), None);
+    }
+
+    #[test]
+    fn blanket_impl_covers_mut_and_dyn() {
+        fn consult<F: FaultHook>(mut f: F) -> bool {
+            f.is_enabled() || f.transfer(FaultDomain::Dram, 0, 8).is_clean()
+        }
+        let mut h = NoFaults;
+        assert!(consult(&mut h));
+        let dynref: &mut dyn FaultHook = &mut h;
+        assert!(consult(dynref));
+    }
+
+    #[test]
+    fn stuck_forces_bits_both_ways() {
+        let one = StuckFault { index: 3, bit: 4, stuck_one: true };
+        assert_eq!(one.force(0), 16);
+        assert_eq!(one.force(16), 16);
+        let zero = StuckFault { index: 3, bit: 4, stuck_one: false };
+        assert_eq!(zero.force(0xFFFF_FFFF), 0xFFFF_FFEF);
+    }
+
+    #[test]
+    fn domain_names_are_stable() {
+        for (d, n) in [
+            (FaultDomain::Dram, "dram"),
+            (FaultDomain::VectorLane, "vector-lane"),
+            (FaultDomain::Cluster, "cluster"),
+            (FaultDomain::Tile, "tile"),
+        ] {
+            assert_eq!(d.name(), n);
+        }
+    }
+}

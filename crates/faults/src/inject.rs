@@ -1,0 +1,349 @@
+//! The deterministic fault injector: executes a [`FaultPlan`] and tallies
+//! a [`FaultReport`].
+
+use crate::hook::{FaultDomain, FaultHook, StuckFault, TransferFaults, WordFlip};
+use crate::plan::FaultPlan;
+use crate::rng::SplitMix64;
+
+/// Per-run tally of everything an injector did, read by the campaign
+/// driver after the run to classify the outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Transfer consultations received.
+    pub transfer_consultations: u64,
+    /// Words screened across all transfers.
+    pub words_screened: u64,
+    /// Fault events that fired.
+    pub injected: u64,
+    /// Single-bit errors corrected by ECC.
+    pub corrected: u64,
+    /// Flips that landed silently in data (no ECC, or multi-bit escapes).
+    pub uncorrected_flips: u64,
+    /// Dropped transactions recovered within the retry budget.
+    pub dropped_recovered: u64,
+    /// Individual retry attempts spent on dropped transactions.
+    pub retries: u64,
+    /// Transactions that merely stalled (latency only).
+    pub stall_events: u64,
+    /// Unrecoverable failures signalled to the engine (double-bit ECC or
+    /// retry exhaustion).
+    pub detected_unrecoverable: u64,
+    /// Stuck-at consultations that returned an active fault.
+    pub stuck_consultations: u64,
+}
+
+impl FaultReport {
+    /// True when a detection-or-recovery mechanism fired at least once.
+    #[must_use]
+    pub fn any_recovered(&self) -> bool {
+        self.corrected > 0 || self.dropped_recovered > 0 || self.stall_events > 0
+    }
+
+    /// True when corruption may have reached architectural state.
+    #[must_use]
+    pub fn any_corruption_possible(&self) -> bool {
+        self.uncorrected_flips > 0 || self.stuck_consultations > 0
+    }
+}
+
+/// A [`FaultHook`] that injects the faults a [`FaultPlan`] describes.
+///
+/// Arrivals follow a word-count renewal process spanning transfers: gaps
+/// are drawn uniformly from `1..=2·mean`, so the cost of screening a
+/// transfer is `O(faults)` rather than `O(words)`. All decisions come
+/// from one [`SplitMix64`] stream seeded by the plan, making a whole
+/// campaign a pure function of `(plan, consultation sequence)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    /// Words remaining until the next fault arrival.
+    gap: u64,
+    report: FaultReport,
+}
+
+impl FaultInjector {
+    /// Builds an injector executing `plan` from the plan's seed.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        let mut rng = SplitMix64::new(plan.seed);
+        let gap = Self::draw_gap(&mut rng, plan.mean_words_between_faults);
+        FaultInjector { plan, rng, gap, report: FaultReport::default() }
+    }
+
+    /// The plan being executed.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The tally so far.
+    #[must_use]
+    pub fn report(&self) -> &FaultReport {
+        &self.report
+    }
+
+    fn draw_gap(rng: &mut SplitMix64, mean: u64) -> u64 {
+        // Uniform in 1..=2·mean (mean ≈ `mean`); ≥ 1 guarantees progress.
+        1 + rng.below(2 * mean.max(1))
+    }
+
+    /// A 32-bit XOR mask with exactly `bits` distinct set bits.
+    fn flip_mask(rng: &mut SplitMix64, bits: u32) -> u32 {
+        let mut mask = 0u32;
+        while mask.count_ones() < bits {
+            mask |= 1 << rng.below(32);
+        }
+        mask
+    }
+
+    fn inject_one(&mut self, offset: usize, start_word: usize, fx: &mut TransferFaults) {
+        self.report.injected += 1;
+        let total = self.plan.weights.total();
+        let pick = self.rng.below(total);
+        let w = self.plan.weights;
+        let single = u64::from(w.single_bit);
+        let double = single + u64::from(w.double_bit);
+        let triple = double + u64::from(w.triple_bit);
+        let dropped = triple + u64::from(w.dropped);
+        if pick < single {
+            if self.plan.ecc.enabled {
+                fx.ecc_cycles += self.plan.ecc.correct_cycles;
+                self.report.corrected += 1;
+            } else {
+                fx.flips.push(WordFlip { offset, xor_mask: Self::flip_mask(&mut self.rng, 1) });
+                self.report.uncorrected_flips += 1;
+            }
+        } else if pick < double {
+            if self.plan.ecc.enabled {
+                fx.ecc_cycles += self.plan.ecc.detect_cycles;
+                self.report.detected_unrecoverable += 1;
+                if fx.failure.is_none() {
+                    fx.failure = Some(format!(
+                        "uncorrectable double-bit dram error at word {}",
+                        start_word + offset
+                    ));
+                }
+            } else {
+                fx.flips.push(WordFlip { offset, xor_mask: Self::flip_mask(&mut self.rng, 2) });
+                self.report.uncorrected_flips += 1;
+            }
+        } else if pick < triple {
+            // Three flipped bits alias past SECDED: silent either way.
+            fx.flips.push(WordFlip { offset, xor_mask: Self::flip_mask(&mut self.rng, 3) });
+            self.report.uncorrected_flips += 1;
+        } else if pick < dropped {
+            let max = self.plan.retry.max_retries;
+            let attempts = 1 + self.rng.below(u64::from(max) + 2) as u32;
+            if attempts <= max {
+                fx.retry_cycles += self.plan.retry.backoff_total(attempts);
+                self.report.dropped_recovered += 1;
+                self.report.retries += u64::from(attempts);
+            } else {
+                fx.retry_cycles += self.plan.retry.backoff_total(max);
+                self.report.retries += u64::from(max);
+                self.report.detected_unrecoverable += 1;
+                if fx.failure.is_none() {
+                    fx.failure = Some(format!(
+                        "dram transaction at word {} dropped after {max} retries",
+                        start_word + offset
+                    ));
+                }
+            }
+        } else {
+            fx.retry_cycles += self.plan.retry.backoff_cycles * (1 + self.rng.below(4));
+            self.report.stall_events += 1;
+        }
+    }
+}
+
+impl FaultHook for FaultInjector {
+    fn transfer(
+        &mut self,
+        _domain: FaultDomain,
+        start_word: usize,
+        words: usize,
+    ) -> TransferFaults {
+        self.report.transfer_consultations += 1;
+        self.report.words_screened += words as u64;
+        let mut fx = TransferFaults::default();
+        let mut remaining = words as u64;
+        while self.gap < remaining {
+            let offset = (words as u64 - remaining + self.gap) as usize;
+            remaining -= self.gap;
+            self.inject_one(offset, start_word, &mut fx);
+            self.gap = Self::draw_gap(&mut self.rng, self.plan.mean_words_between_faults);
+        }
+        self.gap -= remaining;
+        fx
+    }
+
+    fn stuck(&mut self, domain: FaultDomain) -> Option<StuckFault> {
+        match self.plan.stuck {
+            Some((d, fault)) if d == domain => {
+                self.report.stuck_consultations += 1;
+                Some(fault)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{EccConfig, FaultWeights};
+
+    fn flat_plan(seed: u64, weights: FaultWeights, ecc: EccConfig) -> FaultPlan {
+        FaultPlan { weights, ecc, mean_words_between_faults: 64, ..FaultPlan::new(seed) }
+    }
+
+    #[test]
+    fn identical_plans_yield_identical_effect_streams() {
+        let mut a = FaultInjector::new(FaultPlan::campaign(11, 3));
+        let mut b = FaultInjector::new(FaultPlan::campaign(11, 3));
+        for i in 0..50 {
+            let fa = a.transfer(FaultDomain::Dram, i * 1000, 700 + i);
+            let fb = b.transfer(FaultDomain::Dram, i * 1000, 700 + i);
+            assert_eq!(fa, fb);
+        }
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn arrival_rate_tracks_the_mean() {
+        let mut inj = FaultInjector::new(FaultPlan::new(5));
+        let mean = inj.plan().mean_words_between_faults;
+        let screened = mean * 1000;
+        let _ = inj.transfer(FaultDomain::Dram, 0, screened as usize);
+        let injected = inj.report().injected;
+        assert!(
+            (700..=1400).contains(&injected),
+            "expected ~1000 faults over {screened} words, got {injected}"
+        );
+    }
+
+    #[test]
+    fn single_bit_with_ecc_is_corrected_not_flipped() {
+        let plan = flat_plan(
+            1,
+            FaultWeights { single_bit: 1, double_bit: 0, triple_bit: 0, dropped: 0, stalled: 0 },
+            EccConfig::secded(),
+        );
+        let mut inj = FaultInjector::new(plan);
+        let fx = inj.transfer(FaultDomain::Dram, 0, 10_000);
+        assert!(fx.flips.is_empty());
+        assert!(fx.ecc_cycles > 0);
+        assert!(fx.failure.is_none());
+        assert!(inj.report().corrected > 0);
+        assert_eq!(inj.report().uncorrected_flips, 0);
+    }
+
+    #[test]
+    fn single_bit_without_ecc_is_silent() {
+        let plan = flat_plan(
+            2,
+            FaultWeights { single_bit: 1, double_bit: 0, triple_bit: 0, dropped: 0, stalled: 0 },
+            EccConfig::disabled(),
+        );
+        let mut inj = FaultInjector::new(plan);
+        let fx = inj.transfer(FaultDomain::Dram, 0, 10_000);
+        assert!(!fx.flips.is_empty());
+        for flip in &fx.flips {
+            assert_eq!(flip.xor_mask.count_ones(), 1);
+            assert!(flip.offset < 10_000);
+        }
+        assert_eq!(fx.ecc_cycles, 0);
+    }
+
+    #[test]
+    fn double_bit_with_ecc_fails_the_transfer() {
+        let plan = flat_plan(
+            3,
+            FaultWeights { single_bit: 0, double_bit: 1, triple_bit: 0, dropped: 0, stalled: 0 },
+            EccConfig::secded(),
+        );
+        let mut inj = FaultInjector::new(plan);
+        let fx = inj.transfer(FaultDomain::Dram, 4096, 10_000);
+        assert!(fx.failure.as_deref().is_some_and(|m| m.contains("double-bit")));
+        assert!(inj.report().detected_unrecoverable > 0);
+    }
+
+    #[test]
+    fn triple_bit_escapes_secded() {
+        let plan = flat_plan(
+            4,
+            FaultWeights { single_bit: 0, double_bit: 0, triple_bit: 1, dropped: 0, stalled: 0 },
+            EccConfig::secded(),
+        );
+        let mut inj = FaultInjector::new(plan);
+        let fx = inj.transfer(FaultDomain::Dram, 0, 10_000);
+        assert!(!fx.flips.is_empty());
+        for flip in &fx.flips {
+            assert_eq!(flip.xor_mask.count_ones(), 3);
+        }
+        assert!(fx.failure.is_none());
+    }
+
+    #[test]
+    fn dropped_transactions_retry_and_sometimes_exhaust() {
+        let plan = flat_plan(
+            6,
+            FaultWeights { single_bit: 0, double_bit: 0, triple_bit: 0, dropped: 1, stalled: 0 },
+            EccConfig::secded(),
+        );
+        let mut inj = FaultInjector::new(plan);
+        let mut saw_exhausted = false;
+        let mut saw_retry_cycles = false;
+        for i in 0..64 {
+            let fx = inj.transfer(FaultDomain::Dram, i * 100_000, 50_000);
+            if fx.failure.as_deref().is_some_and(|m| m.contains("retries")) {
+                saw_exhausted = true;
+            }
+            if fx.retry_cycles > 0 {
+                saw_retry_cycles = true;
+            }
+        }
+        assert!(saw_retry_cycles, "dropped transactions charged no retry cycles");
+        assert!(saw_exhausted, "no dropped transaction exhausted its retries");
+        assert!(inj.report().dropped_recovered > 0, "no dropped transaction recovered");
+        assert!(inj.report().retries > 0);
+        assert!(inj.report().detected_unrecoverable > 0);
+    }
+
+    #[test]
+    fn stuck_only_answers_its_own_domain() {
+        let fault = StuckFault { index: 2, bit: 7, stuck_one: true };
+        let plan = FaultPlan { stuck: Some((FaultDomain::Cluster, fault)), ..FaultPlan::new(9) };
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.stuck(FaultDomain::Cluster), Some(fault));
+        assert_eq!(inj.stuck(FaultDomain::Tile), None);
+        assert_eq!(inj.stuck(FaultDomain::VectorLane), None);
+        assert_eq!(inj.report().stuck_consultations, 1);
+    }
+
+    #[test]
+    fn gap_spans_transfers() {
+        // Many small transfers must see the same total fault count as one
+        // big transfer over the same word stream (same plan).
+        let plan = FaultPlan::new(12);
+        let mut one = FaultInjector::new(plan.clone());
+        let _ = one.transfer(FaultDomain::Dram, 0, 400_000);
+        let mut many = FaultInjector::new(plan);
+        for i in 0..400 {
+            let _ = many.transfer(FaultDomain::Dram, i * 1000, 1000);
+        }
+        assert_eq!(one.report().injected, many.report().injected);
+    }
+
+    #[test]
+    fn report_helpers_reflect_tallies() {
+        let mut r = FaultReport::default();
+        assert!(!r.any_recovered());
+        assert!(!r.any_corruption_possible());
+        r.corrected = 1;
+        assert!(r.any_recovered());
+        r.stuck_consultations = 1;
+        assert!(r.any_corruption_possible());
+    }
+}

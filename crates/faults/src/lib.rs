@@ -1,0 +1,65 @@
+//! `triarch-faults` — deterministic fault injection for the triarch
+//! simulators.
+//!
+//! The machine models in this workspace are *data-accurate*: kernels run
+//! on real simulated state and their outputs are checked against reference
+//! implementations. That makes them a natural substrate for studying not
+//! just performance but *resilience* — what happens when the memory a
+//! machine computes in (or the lanes, clusters, and tiles it computes
+//! with) misbehaves.
+//!
+//! This crate is the engines' fault vocabulary, mirroring the design of
+//! `triarch-trace`:
+//!
+//! - [`FaultHook`] — the dyn-safe trait the engines consult at the points
+//!   where simulated state crosses a fault surface (DRAM transfers,
+//!   vector-lane/cluster/tile results). The zero-cost default is
+//!   [`NoFaults`], whose [`FaultHook::is_enabled`] returns `false` so an
+//!   unfaulted machine pays nothing for the instrumentation.
+//! - [`FaultPlan`] — a seeded, deterministic description of a fault
+//!   environment: inter-arrival rate, event mix (single/double/triple bit
+//!   flips, dropped and stalled transactions), ECC and retry policies, and
+//!   an optional stuck-at fault in a compute domain.
+//! - [`FaultInjector`] — a [`FaultHook`] that executes a plan with a
+//!   [`SplitMix64`] stream, modelling SECDED ECC (single-bit corrected at
+//!   a cycle cost, double-bit detected-uncorrectable, triple-bit silent)
+//!   and bounded retry-with-backoff for dropped transactions, while
+//!   tallying a [`FaultReport`].
+//! - [`FaultOutcome`] — the four-way classification vocabulary a campaign
+//!   driver assigns to each run: `Corrected`, `DetectedUncorrectable`,
+//!   `SilentDataCorruption`, or `Masked`.
+//!
+//! The crate is dependency-free (it sits below `triarch-simcore`, which
+//! re-exports it as `triarch_simcore::faults`). Engines convert a
+//! [`TransferFaults::failure`] into their own typed error.
+//!
+//! # Example
+//!
+//! ```
+//! use triarch_faults::{FaultDomain, FaultHook, FaultInjector, FaultPlan};
+//!
+//! let plan = FaultPlan::campaign(42, 0);
+//! let mut injector = FaultInjector::new(plan);
+//! // An engine consults the hook for a 4096-word DRAM transfer.
+//! let fx = injector.transfer(FaultDomain::Dram, 0, 4096);
+//! // Effects are deterministic: the same plan yields the same faults.
+//! let mut again = FaultInjector::new(FaultPlan::campaign(42, 0));
+//! assert_eq!(fx, again.transfer(FaultDomain::Dram, 0, 4096));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod hook;
+pub mod inject;
+pub mod outcome;
+pub mod plan;
+pub mod rng;
+
+pub use hook::{FaultDomain, FaultHook, NoFaults, StuckFault, TransferFaults, WordFlip};
+pub use inject::{FaultInjector, FaultReport};
+pub use outcome::FaultOutcome;
+pub use plan::{EccConfig, FaultPlan, FaultWeights, RetryConfig};
+pub use rng::SplitMix64;

@@ -1,0 +1,86 @@
+//! The four-way outcome vocabulary campaign drivers assign to each run.
+
+use std::fmt;
+
+/// How one faulted run ended, in decreasing order of severity of what the
+/// fault environment got away with.
+///
+/// Classification priority (applied by campaign drivers):
+///
+/// 1. The engine returned a detected-fault or budget error →
+///    [`DetectedUncorrectable`](FaultOutcome::DetectedUncorrectable).
+/// 2. The run completed but verification failed →
+///    [`SilentDataCorruption`](FaultOutcome::SilentDataCorruption).
+/// 3. Verification passed and some fault was corrected or recovered →
+///    [`Corrected`](FaultOutcome::Corrected).
+/// 4. Verification passed and nothing needed recovery (faults landed in
+///    dead data, or none fired) → [`Masked`](FaultOutcome::Masked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultOutcome {
+    /// Faults fired but ECC/retry machinery absorbed them; outputs verify.
+    Corrected,
+    /// The machine detected an unrecoverable fault (double-bit ECC error,
+    /// exhausted retries) or tripped its watchdog, and aborted cleanly.
+    DetectedUncorrectable,
+    /// The run completed "successfully" but produced wrong answers: the
+    /// fault escaped every detection mechanism.
+    SilentDataCorruption,
+    /// Faults (if any fired) changed nothing observable; outputs verify
+    /// with no recovery work done.
+    Masked,
+}
+
+impl FaultOutcome {
+    /// All outcomes, in display order.
+    pub const ALL: [FaultOutcome; 4] = [
+        FaultOutcome::Corrected,
+        FaultOutcome::DetectedUncorrectable,
+        FaultOutcome::SilentDataCorruption,
+        FaultOutcome::Masked,
+    ];
+
+    /// Short stable name (used in sweep tables and CSV output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::Corrected => "corrected",
+            FaultOutcome::DetectedUncorrectable => "detected",
+            FaultOutcome::SilentDataCorruption => "sdc",
+            FaultOutcome::Masked => "masked",
+        }
+    }
+
+    /// True when the run ended with the machine still trustworthy: either
+    /// nothing observable happened or every fault was corrected/detected.
+    #[must_use]
+    pub fn is_safe(self) -> bool {
+        !matches!(self, FaultOutcome::SilentDataCorruption)
+    }
+}
+
+impl fmt::Display for FaultOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            FaultOutcome::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names.len(), 4);
+        assert_eq!(FaultOutcome::SilentDataCorruption.name(), "sdc");
+        assert_eq!(FaultOutcome::Corrected.to_string(), "corrected");
+    }
+
+    #[test]
+    fn only_sdc_is_unsafe() {
+        for o in FaultOutcome::ALL {
+            assert_eq!(o.is_safe(), o != FaultOutcome::SilentDataCorruption);
+        }
+    }
+}

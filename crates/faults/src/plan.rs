@@ -1,0 +1,212 @@
+//! Seeded, deterministic fault-environment descriptions.
+
+use crate::hook::{FaultDomain, StuckFault};
+use crate::rng::SplitMix64;
+
+/// SECDED-style ECC policy for DRAM words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccConfig {
+    /// Whether ECC is present at all. Without it every flip is silent.
+    pub enabled: bool,
+    /// Cycles charged to correct a single-bit error.
+    pub correct_cycles: u64,
+    /// Cycles charged to detect (but not correct) a multi-bit error.
+    pub detect_cycles: u64,
+}
+
+impl EccConfig {
+    /// A typical SECDED policy: cheap correction, costlier detection path.
+    #[must_use]
+    pub fn secded() -> Self {
+        EccConfig { enabled: true, correct_cycles: 3, detect_cycles: 12 }
+    }
+
+    /// No ECC: flips land silently.
+    #[must_use]
+    pub fn disabled() -> Self {
+        EccConfig { enabled: false, correct_cycles: 0, detect_cycles: 0 }
+    }
+}
+
+/// Bounded retry-with-backoff policy for dropped DRAM transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Retries attempted before the transfer is declared failed.
+    pub max_retries: u32,
+    /// Base backoff in cycles; attempt `k` costs `backoff_cycles << (k-1)`.
+    pub backoff_cycles: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig { max_retries: 3, backoff_cycles: 32 }
+    }
+}
+
+impl RetryConfig {
+    /// Total backoff cycles spent on `attempts` exponentially-backed-off
+    /// retries: `backoff · (2^attempts − 1)`, saturating.
+    #[must_use]
+    pub fn backoff_total(&self, attempts: u32) -> u64 {
+        let doublings = if attempts >= 64 { u64::MAX } else { (1u64 << attempts) - 1 };
+        self.backoff_cycles.saturating_mul(doublings)
+    }
+}
+
+/// Relative weights of the fault-event mix drawn at each arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWeights {
+    /// Single-bit DRAM flip (ECC-correctable).
+    pub single_bit: u32,
+    /// Double-bit DRAM flip (SECDED detects, cannot correct).
+    pub double_bit: u32,
+    /// Triple-bit DRAM flip (escapes SECDED: silent).
+    pub triple_bit: u32,
+    /// Dropped transaction (retried with backoff, may exhaust retries).
+    pub dropped: u32,
+    /// Stalled transaction (pure latency, always recovers).
+    pub stalled: u32,
+}
+
+impl Default for FaultWeights {
+    fn default() -> Self {
+        FaultWeights { single_bit: 60, double_bit: 6, triple_bit: 6, dropped: 16, stalled: 12 }
+    }
+}
+
+impl FaultWeights {
+    /// Sum of all weights (the draw denominator).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        u64::from(self.single_bit)
+            + u64::from(self.double_bit)
+            + u64::from(self.triple_bit)
+            + u64::from(self.dropped)
+            + u64::from(self.stalled)
+    }
+}
+
+/// A complete, seeded description of one fault environment.
+///
+/// A plan is pure data: running the same plan against the same workload
+/// yields byte-identical fault effects, reports, and outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the injector's random stream.
+    pub seed: u64,
+    /// Mean words between fault arrivals across all screened transfers
+    /// (inter-arrival gaps are uniform in `1..=2·mean`).
+    pub mean_words_between_faults: u64,
+    /// ECC policy.
+    pub ecc: EccConfig,
+    /// Retry policy for dropped transactions.
+    pub retry: RetryConfig,
+    /// Event mix.
+    pub weights: FaultWeights,
+    /// Optional stuck-at fault, active in exactly one compute domain for
+    /// the whole run.
+    pub stuck: Option<(FaultDomain, StuckFault)>,
+}
+
+impl FaultPlan {
+    /// A quiet baseline plan: SECDED ECC, default retry policy, one fault
+    /// expected every ~8 Ki words, no stuck fault.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            mean_words_between_faults: 8 * 1024,
+            ecc: EccConfig::secded(),
+            retry: RetryConfig::default(),
+            weights: FaultWeights::default(),
+            stuck: None,
+        }
+    }
+
+    /// Derives campaign `index` of a seeded sweep: a deterministic
+    /// variation of rate, ECC presence, and stuck-fault placement so a
+    /// sweep explores the outcome space instead of replaying one
+    /// environment.
+    #[must_use]
+    pub fn campaign(seed: u64, index: u64) -> Self {
+        let mut rng =
+            SplitMix64::new(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+        let mean_words_between_faults = 1u64 << (10 + rng.below(6)); // 1 Ki ..= 32 Ki words
+        let ecc = if rng.chance(3, 4) { EccConfig::secded() } else { EccConfig::disabled() };
+        let stuck = if rng.chance(1, 4) {
+            let domain = match rng.below(3) {
+                0 => FaultDomain::VectorLane,
+                1 => FaultDomain::Cluster,
+                _ => FaultDomain::Tile,
+            };
+            Some((
+                domain,
+                StuckFault {
+                    index: rng.below(16) as usize,
+                    bit: rng.below(32) as u8,
+                    stuck_one: rng.chance(1, 2),
+                },
+            ))
+        } else {
+            None
+        };
+        FaultPlan {
+            seed: rng.next_u64(),
+            mean_words_between_faults,
+            ecc,
+            retry: RetryConfig::default(),
+            weights: FaultWeights::default(),
+            stuck,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_derivation_is_deterministic() {
+        for index in 0..32 {
+            assert_eq!(FaultPlan::campaign(99, index), FaultPlan::campaign(99, index));
+        }
+        assert_ne!(FaultPlan::campaign(99, 0), FaultPlan::campaign(99, 1));
+        assert_ne!(FaultPlan::campaign(99, 0), FaultPlan::campaign(100, 0));
+    }
+
+    #[test]
+    fn campaign_sweep_varies_the_environment() {
+        let plans: Vec<FaultPlan> = (0..64).map(|i| FaultPlan::campaign(7, i)).collect();
+        assert!(plans.iter().any(|p| p.ecc.enabled));
+        assert!(plans.iter().any(|p| !p.ecc.enabled));
+        assert!(plans.iter().any(|p| p.stuck.is_some()));
+        assert!(plans.iter().any(|p| p.stuck.is_none()));
+        let rates: std::collections::BTreeSet<u64> =
+            plans.iter().map(|p| p.mean_words_between_faults).collect();
+        assert!(rates.len() > 2, "rates should vary: {rates:?}");
+    }
+
+    #[test]
+    fn backoff_totals_grow_exponentially_and_saturate() {
+        let r = RetryConfig { max_retries: 3, backoff_cycles: 10 };
+        assert_eq!(r.backoff_total(0), 0);
+        assert_eq!(r.backoff_total(1), 10);
+        assert_eq!(r.backoff_total(2), 30);
+        assert_eq!(r.backoff_total(3), 70);
+        assert_eq!(r.backoff_total(64), u64::MAX);
+    }
+
+    #[test]
+    fn weights_total_matches_fields() {
+        let w = FaultWeights::default();
+        assert_eq!(
+            w.total(),
+            u64::from(w.single_bit)
+                + u64::from(w.double_bit)
+                + u64::from(w.triple_bit)
+                + u64::from(w.dropped)
+                + u64::from(w.stalled)
+        );
+        assert!(w.total() > 0);
+    }
+}

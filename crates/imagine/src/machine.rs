@@ -1,8 +1,10 @@
 //! The Imagine execution engine: SRF, memory streams, and cluster kernels.
 
+use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults, TransferFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
-    AccessPattern, CycleBreakdown, Cycles, DramModel, KernelRun, SimError, Verification, WordMemory,
+    AccessPattern, CycleBreakdown, CycleBudget, Cycles, DramModel, KernelRun, SimError,
+    Verification, WordMemory,
 };
 
 use crate::config::ImagineConfig;
@@ -88,11 +90,12 @@ struct OverlapAcc {
 
 /// The Imagine machine state: off-chip DRAM, SRF, clusters, accounting.
 ///
-/// Generic over a [`TraceSink`]; the default [`NullSink`] is statically
-/// dispatched, disabled, and empty, so an untraced machine pays nothing
-/// for the instrumentation.
+/// Generic over a [`TraceSink`] and a [`FaultHook`]; the defaults
+/// ([`NullSink`], [`NoFaults`]) are statically dispatched, disabled, and
+/// empty, so an untraced, unfaulted machine pays nothing for either kind
+/// of instrumentation.
 #[derive(Debug, Clone)]
-pub struct ImagineMachine<S: TraceSink = NullSink> {
+pub struct ImagineMachine<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     cfg: ImagineConfig,
     dram: DramModel,
     mem: WordMemory,
@@ -103,10 +106,15 @@ pub struct ImagineMachine<S: TraceSink = NullSink> {
     ops: u64,
     mem_words: u64,
     overlap: Option<OverlapAcc>,
+    budget: CycleBudget,
+    /// Watchdog activity counter: all charged cycles, including both sides
+    /// of an overlap region.
+    spent: u64,
     sink: S,
+    faults: F,
 }
 
-impl ImagineMachine<NullSink> {
+impl ImagineMachine<NullSink, NoFaults> {
     /// Builds an untraced machine from a configuration.
     ///
     /// # Errors
@@ -117,13 +125,24 @@ impl ImagineMachine<NullSink> {
     }
 }
 
-impl<S: TraceSink> ImagineMachine<S> {
+impl<S: TraceSink> ImagineMachine<S, NoFaults> {
     /// Builds a machine that emits cycle-attribution events into `sink`.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
     pub fn with_sink(cfg: &ImagineConfig, sink: S) -> Result<Self, SimError> {
+        Self::with_hooks(cfg, sink, NoFaults)
+    }
+}
+
+impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
+    /// Builds a machine with both a trace sink and a fault hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
+    pub fn with_hooks(cfg: &ImagineConfig, sink: S, faults: F) -> Result<Self, SimError> {
         cfg.validate()?;
         Ok(ImagineMachine {
             dram: DramModel::new(cfg.dram)?,
@@ -135,8 +154,11 @@ impl<S: TraceSink> ImagineMachine<S> {
             ops: 0,
             mem_words: 0,
             overlap: None,
+            budget: cfg.budget,
+            spent: 0,
             cfg: cfg.clone(),
             sink,
+            faults,
         })
     }
 
@@ -210,6 +232,7 @@ impl<S: TraceSink> ImagineMachine<S> {
         if cycles == Cycles::ZERO {
             return;
         }
+        self.spent += cycles.get();
         let track = if is_mem { TRACK_MEM } else { TRACK_CLUSTER };
         match &mut self.overlap {
             Some(acc) => {
@@ -304,8 +327,9 @@ impl<S: TraceSink> ImagineMachine<S> {
             self.breakdown.charge(category, cycles);
         }
         self.breakdown.charge("unoverlapped", visible);
+        self.spent += visible.get();
         self.hidden += loser_total.saturating_sub(visible);
-        Ok(())
+        self.budget.check(self.spent)
     }
 
     /// Streams `len` words from off-chip memory into the SRF.
@@ -340,7 +364,18 @@ impl<S: TraceSink> ImagineMachine<S> {
         self.mem_words += len as u64;
         self.charge(true, "memory", "stream-in", cost.data + cost.startup);
         self.charge(true, "precharge", "row-precharge-activate", cost.overhead);
-        Ok(())
+        if self.faults.is_enabled() {
+            // Words arriving over the DRAM interface: flips corrupt the SRF
+            // copy (the data in flight), not the off-chip original.
+            let fx = self.faults.transfer(FaultDomain::Dram, mem_addr, len);
+            for flip in &fx.flips {
+                let a = dst.start + flip.offset;
+                let word = self.srf.read_u32(a)?;
+                self.srf.write_u32(a, word ^ flip.xor_mask)?;
+            }
+            self.apply_fault_costs(&fx)?;
+        }
+        self.budget.check(self.spent)
     }
 
     /// Streams `len` words from the SRF out to off-chip memory.
@@ -358,8 +393,18 @@ impl<S: TraceSink> ImagineMachine<S> {
         if len > src.len {
             return Err(SimError::capacity("srf stream range", len, src.len));
         }
+        // An active stuck-at fault in a cluster's output port corrupts
+        // every `clusters`-th word it emits into the outgoing stream.
+        let stuck =
+            if self.faults.is_enabled() { self.faults.stuck(FaultDomain::Cluster) } else { None };
+        let clusters = self.cfg.clusters.max(1);
         for i in 0..len {
-            let v = self.srf.read_u32(src.start + i)?;
+            let mut v = self.srf.read_u32(src.start + i)?;
+            if let Some(fault) = stuck {
+                if i % clusters == fault.index % clusters {
+                    v = fault.force(v);
+                }
+            }
             let a = stream_addr(mem_addr, i, pattern);
             self.mem.write_u32(a, v)?;
         }
@@ -375,14 +420,41 @@ impl<S: TraceSink> ImagineMachine<S> {
         self.mem_words += len as u64;
         self.charge(true, "memory", "stream-out", cost.data + cost.startup);
         self.charge(true, "precharge", "row-precharge-activate", cost.overhead);
-        Ok(())
+        if self.faults.is_enabled() {
+            // Words leaving over the DRAM interface: flips corrupt the
+            // off-chip destination.
+            let fx = self.faults.transfer(FaultDomain::Dram, mem_addr, len);
+            for flip in &fx.flips {
+                let a = stream_addr(mem_addr, flip.offset, pattern);
+                let word = self.mem.read_u32(a)?;
+                self.mem.write_u32(a, word ^ flip.xor_mask)?;
+            }
+            self.apply_fault_costs(&fx)?;
+        }
+        self.budget.check(self.spent)
+    }
+
+    /// Charges a fault verdict's ECC/retry costs and converts a failure
+    /// into [`SimError::DetectedFault`].
+    fn apply_fault_costs(&mut self, fx: &TransferFaults) -> Result<(), SimError> {
+        self.charge(true, "ecc", "ecc-correct", Cycles::new(fx.ecc_cycles));
+        self.charge(true, "retry", "dram-retry", Cycles::new(fx.retry_cycles));
+        match &fx.failure {
+            Some(what) => Err(SimError::detected_fault(what.clone())),
+            None => Ok(()),
+        }
     }
 
     /// Charges one kernel invocation: the inner loop retires at the
     /// initiation interval of the busiest unit class (ops are totals over
     /// all elements and are divided across the clusters), plus the
     /// software-pipeline prologue.
-    pub fn kernel_exec(&mut self, ops: ClusterOps) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExceeded`] once the watchdog budget is
+    /// exhausted.
+    pub fn kernel_exec(&mut self, ops: ClusterOps) -> Result<(), SimError> {
         let c = self.cfg.clusters as u64;
         let add_cycles = ops.adds.div_ceil(c * self.cfg.adders as u64);
         let mul_cycles = ops.muls.div_ceil(c * self.cfg.multipliers as u64);
@@ -409,6 +481,7 @@ impl<S: TraceSink> ImagineMachine<S> {
             "sw-pipeline-prologue",
             Cycles::new(self.cfg.kernel_startup),
         );
+        self.budget.check(self.spent)
     }
 
     /// Total cycles charged so far.
@@ -497,15 +570,15 @@ mod tests {
     fn kernel_exec_uses_busiest_unit() {
         let mut m = machine();
         // 4800 adds over 8 clusters x 3 adders = 200 cycles.
-        m.kernel_exec(ClusterOps { adds: 4_800, ..Default::default() });
+        m.kernel_exec(ClusterOps { adds: 4_800, ..Default::default() }).unwrap();
         assert_eq!(m.breakdown_get("kernel"), 200);
         // 4800 muls over 8 clusters x 2 multipliers = 300 cycles.
         let mut m = machine();
-        m.kernel_exec(ClusterOps { muls: 4_800, ..Default::default() });
+        m.kernel_exec(ClusterOps { muls: 4_800, ..Default::default() }).unwrap();
         assert_eq!(m.breakdown_get("kernel"), 300);
         // Communication beyond the arithmetic bound shows separately.
         let mut m = machine();
-        m.kernel_exec(ClusterOps { adds: 240, comms: 800, ..Default::default() });
+        m.kernel_exec(ClusterOps { adds: 240, comms: 800, ..Default::default() }).unwrap();
         assert_eq!(m.breakdown_get("kernel"), 10);
         assert_eq!(m.breakdown_get("comm"), 90);
     }
@@ -523,7 +596,7 @@ mod tests {
         m.memory_mut().write_block_u32(0, &[0; 256]).unwrap();
         let r = m.srf_alloc(256).unwrap();
         m.stream_in(0, r, 256, AccessPattern::Sequential).unwrap();
-        m.kernel_exec(ClusterOps { adds: 48, ..Default::default() });
+        m.kernel_exec(ClusterOps { adds: 48, ..Default::default() }).unwrap();
         m.end_overlap().unwrap();
         // Memory dominates; a fraction of the kernel remains visible.
         assert!(m.breakdown_get("unoverlapped") > 0);

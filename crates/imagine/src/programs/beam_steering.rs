@@ -10,6 +10,7 @@
 
 use triarch_kernels::beam_steering::BeamSteeringWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError};
 
@@ -38,6 +39,22 @@ pub fn run_traced<S: TraceSink>(
     sink: S,
 ) -> Result<KernelRun, SimError> {
     run_placed_traced(cfg, workload, TablePlacement::Dram, sink)
+}
+
+/// Like [`run_traced`], but additionally consults `faults` at every DRAM
+/// transfer and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &ImagineConfig,
+    workload: &BeamSteeringWorkload,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
+    run_placed_faulted(cfg, workload, TablePlacement::Dram, sink, faults)
 }
 
 /// Where the calibration tables live during the run.
@@ -75,6 +92,16 @@ fn run_placed_traced<S: TraceSink>(
     placement: TablePlacement,
     sink: S,
 ) -> Result<KernelRun, SimError> {
+    run_placed_faulted(cfg, workload, placement, sink, NoFaults)
+}
+
+fn run_placed_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &ImagineConfig,
+    workload: &BeamSteeringWorkload,
+    placement: TablePlacement,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
     let e = workload.elements();
     let cal_a_base = 0usize;
     let cal_b_base = e;
@@ -84,7 +111,7 @@ fn run_placed_traced<S: TraceSink>(
         return Err(SimError::capacity("imagine off-chip memory", needed, cfg.mem_words));
     }
 
-    let mut m = ImagineMachine::with_sink(cfg, sink)?;
+    let mut m = ImagineMachine::with_hooks(cfg, sink, faults)?;
     // Two table input streams plus the result output stream.
     m.declare_streams(3)?;
     let cal_a: Vec<u32> = workload.cal_coarse().iter().map(|&v| v as u32).collect();
@@ -151,7 +178,7 @@ fn run_placed_traced<S: TraceSink>(
                     let out = sum >> workload.shift();
                     m.srf_mut().write_u32(o_range.start + i, out as u32)?;
                 }
-                m.kernel_exec(ClusterOps { adds: 6 * n as u64, ..Default::default() });
+                m.kernel_exec(ClusterOps { adds: 6 * n as u64, ..Default::default() })?;
 
                 let out_off = out_base + (dwell * workload.directions() + d) * e + e0;
                 m.stream_out(o_range, out_off, n, AccessPattern::Sequential)?;

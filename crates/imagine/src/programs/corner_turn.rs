@@ -10,6 +10,7 @@
 
 use triarch_kernels::corner_turn::CornerTurnWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError};
 
@@ -40,6 +41,22 @@ pub fn run_traced<S: TraceSink>(
     workload: &CornerTurnWorkload,
     sink: S,
 ) -> Result<KernelRun, SimError> {
+    run_faulted(cfg, workload, sink, NoFaults)
+}
+
+/// Like [`run_traced`], but additionally consults `faults` at every DRAM
+/// transfer and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &ImagineConfig,
+    workload: &CornerTurnWorkload,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
     let rows = workload.rows();
     let cols = workload.cols();
     let src_base = 0usize;
@@ -58,7 +75,7 @@ pub fn run_traced<S: TraceSink>(
         return Err(SimError::capacity("imagine SRF (one matrix row)", cols, half_srf));
     }
 
-    let mut m = ImagineMachine::with_sink(cfg, sink)?;
+    let mut m = ImagineMachine::with_hooks(cfg, sink, faults)?;
     // Paper mapping: four input streams plus one output stream.
     m.declare_streams(5)?;
     m.memory_mut().write_block_u32(src_base, workload.source_slice())?;
@@ -82,7 +99,7 @@ pub fn run_traced<S: TraceSink>(
                 m.srf_mut().write_u32(out_range.start + c * h + r, v)?;
             }
         }
-        m.kernel_exec(ClusterOps { comms: (h * cols) as u64, ..Default::default() });
+        m.kernel_exec(ClusterOps { comms: (h * cols) as u64, ..Default::default() })?;
 
         // Output stream: h-word chunks (one per destination row), written
         // with the destination pitch as the block stride.

@@ -12,6 +12,7 @@ use triarch_fft::ops::OpCount;
 use triarch_fft::{Cf32, Fft};
 use triarch_kernels::cslc::CslcWorkload;
 use triarch_kernels::verify::verify_complex;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError, WordMemory};
 
@@ -33,8 +34,8 @@ fn fft_ops(n: usize, per_fft: OpCount, clusters: usize) -> ClusterOps {
     }
 }
 
-fn srf_complex<S: TraceSink>(
-    m: &ImagineMachine<S>,
+fn srf_complex<S: TraceSink, F: FaultHook>(
+    m: &ImagineMachine<S, F>,
     range: SrfRange,
     n: usize,
 ) -> Result<Vec<Cf32>, SimError> {
@@ -45,8 +46,8 @@ fn srf_complex<S: TraceSink>(
         .collect())
 }
 
-fn srf_write_complex<S: TraceSink>(
-    m: &mut ImagineMachine<S>,
+fn srf_write_complex<S: TraceSink, F: FaultHook>(
+    m: &mut ImagineMachine<S, F>,
     range: SrfRange,
     data: &[Cf32],
 ) -> Result<(), SimError> {
@@ -77,6 +78,22 @@ pub fn run_traced<S: TraceSink>(
     workload: &CslcWorkload,
     sink: S,
 ) -> Result<KernelRun, SimError> {
+    run_faulted(cfg, workload, sink, NoFaults)
+}
+
+/// Like [`run_traced`], but additionally consults `faults` at every DRAM
+/// transfer and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &ImagineConfig,
+    workload: &CslcWorkload,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
     let c = *workload.config();
     let n = c.fft_len;
     let hop = c.hop();
@@ -98,7 +115,7 @@ pub fn run_traced<S: TraceSink>(
     let inverse = Fft::inverse(n).map_err(|e| SimError::unsupported(e.to_string()))?;
     let per_fft = c.fft_opcount_radix4();
 
-    let mut m = ImagineMachine::with_sink(cfg, sink)?;
+    let mut m = ImagineMachine::with_hooks(cfg, sink, faults)?;
     // Peak stream concurrency per sub-band: every channel window plus
     // every weight vector in flight at once (the output streams drain
     // after the inputs complete). The paper's 4+4 = 8 exactly fills the
@@ -159,7 +176,7 @@ pub fn run_traced<S: TraceSink>(
             let mut window = srf_complex(&m, *range, n)?;
             forward.process(&mut window).map_err(|e| SimError::unsupported(e.to_string()))?;
             srf_write_complex(&mut m, *range, &window)?;
-            m.kernel_exec(fft_ops(n, per_fft, cfg.clusters));
+            m.kernel_exec(fft_ops(n, per_fft, cfg.clusters))?;
             spectra.push(window);
         }
 
@@ -179,13 +196,13 @@ pub fn run_traced<S: TraceSink>(
                 adds: (c.aux_channels * n * 4) as u64,
                 muls: (c.aux_channels * n * 4) as u64,
                 ..Default::default()
-            });
+            })?;
 
             // IFFT kernel and output stream.
             let mut out = spec;
             inverse.process(&mut out).map_err(|e| SimError::unsupported(e.to_string()))?;
             srf_write_complex(&mut m, ch_ranges[mc], &out)?;
-            m.kernel_exec(fft_ops(n, per_fft, cfg.clusters));
+            m.kernel_exec(fft_ops(n, per_fft, cfg.clusters))?;
             m.stream_out(ch_ranges[mc], out_at(mc, s), 2 * n, AccessPattern::Sequential)?;
         }
         m.end_overlap()?;

@@ -145,6 +145,22 @@ pub struct CslcWorkload {
     aux: Vec<Vec<Cf32>>,
     /// `[main][aux][subband * fft_len + bin]`
     weights: Vec<Vec<Vec<Cf32>>>,
+    /// Forward FFT plan for `cfg.fft_len` (built once at construction so
+    /// the reference pipeline stays panic-free).
+    forward: Fft,
+    /// Inverse FFT plan for `cfg.fft_len`.
+    inverse: Fft,
+}
+
+/// Executes a plan on a window whose length matches it by construction.
+///
+/// `CslcWorkload` builds its plans for `cfg.fft_len` and slices every
+/// window to exactly that length, so the process call cannot fail; the
+/// `debug_assert` pins that invariant in tests without a panic path in
+/// release code.
+fn run_plan(plan: &Fft, window: &mut [Cf32]) {
+    debug_assert_eq!(plan.len(), window.len());
+    let _ = plan.process(window);
 }
 
 impl CslcWorkload {
@@ -169,6 +185,10 @@ impl CslcWorkload {
     /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
     pub fn new(cfg: CslcConfig, seed: u64) -> Result<Self, SimError> {
         cfg.validate()?;
+        let forward =
+            Fft::forward(cfg.fft_len).map_err(|e| SimError::invalid_config(e.to_string()))?;
+        let inverse =
+            Fft::inverse(cfg.fft_len).map_err(|e| SimError::invalid_config(e.to_string()))?;
         let mut rng = StdRng::seed_from_u64(seed);
         let jammer_freq: f32 = rng.gen_range(0.05..0.45);
         let target_freq: f32 = rng.gen_range(0.05..0.45);
@@ -214,7 +234,7 @@ impl CslcWorkload {
             })
             .collect();
 
-        Ok(CslcWorkload { cfg, main, aux, weights })
+        Ok(CslcWorkload { cfg, main, aux, weights, forward, inverse })
     }
 
     /// The workload's configuration.
@@ -250,8 +270,6 @@ impl CslcWorkload {
     #[must_use]
     pub fn reference_output(&self) -> Vec<Cf32> {
         let cfg = &self.cfg;
-        let forward = Fft::forward(cfg.fft_len).expect("validated power of two");
-        let inverse = Fft::inverse(cfg.fft_len).expect("validated power of two");
         let hop = cfg.hop();
 
         // Aux spectra are shared by all main channels: [aux][subband][bin].
@@ -261,7 +279,7 @@ impl CslcWorkload {
                     .map(|s| {
                         let start = s * hop;
                         let mut window = self.aux[a][start..start + cfg.fft_len].to_vec();
-                        forward.process(&mut window).expect("window length matches plan");
+                        run_plan(&self.forward, &mut window);
                         window
                     })
                     .collect()
@@ -273,14 +291,14 @@ impl CslcWorkload {
             for s in 0..cfg.subbands {
                 let start = s * hop;
                 let mut spectrum = self.main[m][start..start + cfg.fft_len].to_vec();
-                forward.process(&mut spectrum).expect("window length matches plan");
+                run_plan(&self.forward, &mut spectrum);
                 for (a, aux) in aux_spectra.iter().enumerate() {
                     let weights = &self.weights[m][a];
                     for (k, v) in spectrum.iter_mut().enumerate() {
                         *v -= weights[s * cfg.fft_len + k] * aux[s][k];
                     }
                 }
-                inverse.process(&mut spectrum).expect("window length matches plan");
+                run_plan(&self.inverse, &mut spectrum);
                 out.extend_from_slice(&spectrum);
             }
         }

@@ -32,6 +32,9 @@
 //! # }
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod beam_steering;
 pub mod corner_turn;
 pub mod cslc;

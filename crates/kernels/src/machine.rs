@@ -2,8 +2,9 @@
 
 use std::fmt;
 
+use triarch_simcore::faults::FaultHook;
 use triarch_simcore::trace::TraceSink;
-use triarch_simcore::{KernelRun, MachineInfo, SimError};
+use triarch_simcore::{CycleBudget, KernelRun, MachineInfo, SimError};
 
 use crate::beam_steering::BeamSteeringWorkload;
 use crate::corner_turn::CornerTurnWorkload;
@@ -49,6 +50,12 @@ impl fmt::Display for Kernel {
 pub trait SignalMachine {
     /// Static machine description (paper Table 2 row).
     fn info(&self) -> &MachineInfo;
+
+    /// Installs a watchdog cycle budget for subsequent runs: once a run's
+    /// simulated activity passes the budget, the engine aborts with
+    /// [`SimError::BudgetExceeded`] instead of running unboundedly. The
+    /// default budget is [`CycleBudget::UNLIMITED`].
+    fn set_cycle_budget(&mut self, budget: CycleBudget);
 
     /// Runs the corner-turn kernel.
     ///
@@ -121,6 +128,49 @@ pub trait SignalMachine {
         self.beam_steering(workload)
     }
 
+    /// Runs the corner-turn kernel with a fault hook consulted wherever
+    /// simulated state crosses a fault surface (DRAM transfers, compute
+    /// results). Implementations apply the hook's effects to real
+    /// simulated data, charge its ECC/retry cycle costs into the
+    /// breakdown, and convert a transfer failure into
+    /// [`SimError::DetectedFault`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`corner_turn`](Self::corner_turn), plus
+    /// [`SimError::DetectedFault`] and [`SimError::BudgetExceeded`].
+    fn corner_turn_faulted(
+        &mut self,
+        workload: &CornerTurnWorkload,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError>;
+
+    /// Runs the CSLC kernel with a fault hook (see
+    /// [`corner_turn_faulted`](Self::corner_turn_faulted)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`cslc`](Self::cslc), plus [`SimError::DetectedFault`] and
+    /// [`SimError::BudgetExceeded`].
+    fn cslc_faulted(
+        &mut self,
+        workload: &CslcWorkload,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError>;
+
+    /// Runs the beam-steering kernel with a fault hook (see
+    /// [`corner_turn_faulted`](Self::corner_turn_faulted)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`beam_steering`](Self::beam_steering), plus
+    /// [`SimError::DetectedFault`] and [`SimError::BudgetExceeded`].
+    fn beam_steering_faulted(
+        &mut self,
+        workload: &BeamSteeringWorkload,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError>;
+
     /// Dispatches a kernel by enum value.
     ///
     /// # Errors
@@ -149,6 +199,24 @@ pub trait SignalMachine {
             Kernel::CornerTurn => self.corner_turn_traced(&workloads.corner_turn, sink),
             Kernel::Cslc => self.cslc_traced(&workloads.cslc, sink),
             Kernel::BeamSteering => self.beam_steering_traced(&workloads.beam_steering, sink),
+        }
+    }
+
+    /// Dispatches a kernel by enum value with a fault hook.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the corresponding kernel method's error.
+    fn run_faulted(
+        &mut self,
+        kernel: Kernel,
+        workloads: &WorkloadSet,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError> {
+        match kernel {
+            Kernel::CornerTurn => self.corner_turn_faulted(&workloads.corner_turn, faults),
+            Kernel::Cslc => self.cslc_faulted(&workloads.cslc, faults),
+            Kernel::BeamSteering => self.beam_steering_faulted(&workloads.beam_steering, faults),
         }
     }
 }

@@ -1,6 +1,6 @@
 //! PowerPC G4 baseline configuration (paper Section 4.1 / Table 2).
 
-use triarch_simcore::{ClockFrequency, MachineInfo, SimError, ThroughputModel};
+use triarch_simcore::{ClockFrequency, CycleBudget, MachineInfo, SimError, ThroughputModel};
 
 /// Parameters of the modeled 1 GHz PowerMac G4 (PPC 7450).
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +23,8 @@ pub struct PpcConfig {
     pub trig_cycles: u64,
     /// AltiVec vector width in 32-bit lanes.
     pub vector_lanes: usize,
+    /// Watchdog budget on simulated cycles (default: unlimited).
+    pub budget: CycleBudget,
 }
 
 impl PpcConfig {
@@ -37,6 +39,7 @@ impl PpcConfig {
             l2_store_miss_penalty: 28,
             trig_cycles: 65,
             vector_lanes: 4,
+            budget: CycleBudget::UNLIMITED,
         }
     }
 

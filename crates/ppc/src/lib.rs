@@ -27,6 +27,9 @@
 //! # }
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
 pub mod config;
 pub mod machine;
@@ -37,8 +40,9 @@ pub use machine::PpcMachine;
 pub use programs::Variant;
 
 use triarch_kernels::{BeamSteeringWorkload, CornerTurnWorkload, CslcWorkload, SignalMachine};
-use triarch_simcore::trace::TraceSink;
-use triarch_simcore::{KernelRun, MachineInfo, SimError};
+use triarch_simcore::faults::FaultHook;
+use triarch_simcore::trace::{NullSink, TraceSink};
+use triarch_simcore::{CycleBudget, KernelRun, MachineInfo, SimError};
 
 /// The G4 baseline machine in either scalar or AltiVec form.
 #[derive(Debug, Clone)]
@@ -99,6 +103,10 @@ impl SignalMachine for Ppc {
         &self.info
     }
 
+    fn set_cycle_budget(&mut self, budget: CycleBudget) {
+        self.config.budget = budget;
+    }
+
     fn corner_turn(&mut self, workload: &CornerTurnWorkload) -> Result<KernelRun, SimError> {
         programs::corner_turn::run(&self.config, workload, self.variant)
     }
@@ -133,6 +141,30 @@ impl SignalMachine for Ppc {
         sink: &mut dyn TraceSink,
     ) -> Result<KernelRun, SimError> {
         programs::beam_steering::run_traced(&self.config, workload, self.variant, sink)
+    }
+
+    fn corner_turn_faulted(
+        &mut self,
+        workload: &CornerTurnWorkload,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError> {
+        programs::corner_turn::run_faulted(&self.config, workload, self.variant, NullSink, faults)
+    }
+
+    fn cslc_faulted(
+        &mut self,
+        workload: &CslcWorkload,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError> {
+        programs::cslc::run_faulted(&self.config, workload, self.variant, NullSink, faults)
+    }
+
+    fn beam_steering_faulted(
+        &mut self,
+        workload: &BeamSteeringWorkload,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError> {
+        programs::beam_steering::run_faulted(&self.config, workload, self.variant, NullSink, faults)
     }
 }
 

@@ -1,6 +1,7 @@
 //! Timing accumulator for the G4 baseline: superscalar issue plus
 //! trace-driven cache stalls.
 
+use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{CycleBreakdown, Cycles, KernelRun, SimError, Verification};
 
@@ -19,7 +20,7 @@ const TRACK_CORE: &str = "ppc.core";
 /// tile the breakdown are emitted at [`PpcMachine::finish`], with
 /// periodic counter samples along the way.
 #[derive(Debug, Clone)]
-pub struct PpcMachine<S: TraceSink = NullSink> {
+pub struct PpcMachine<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     cfg: PpcConfig,
     hier: Hierarchy,
     instrs: u64,
@@ -27,12 +28,15 @@ pub struct PpcMachine<S: TraceSink = NullSink> {
     trig_calls: u64,
     load_stall: u64,
     store_stall: u64,
+    ecc_stall: u64,
+    retry_stall: u64,
     ops: u64,
     mem_words: u64,
     sink: S,
+    faults: F,
 }
 
-impl PpcMachine<NullSink> {
+impl PpcMachine<NullSink, NoFaults> {
     /// Builds an untraced machine.
     ///
     /// # Errors
@@ -43,13 +47,24 @@ impl PpcMachine<NullSink> {
     }
 }
 
-impl<S: TraceSink> PpcMachine<S> {
+impl<S: TraceSink> PpcMachine<S, NoFaults> {
     /// Builds a machine that emits cycle-attribution events into `sink`.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
     pub fn with_sink(cfg: &PpcConfig, sink: S) -> Result<Self, SimError> {
+        Self::with_hooks(cfg, sink, NoFaults)
+    }
+}
+
+impl<S: TraceSink, F: FaultHook> PpcMachine<S, F> {
+    /// Builds a machine with both a trace sink and a fault hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
+    pub fn with_hooks(cfg: &PpcConfig, sink: S, faults: F) -> Result<Self, SimError> {
         cfg.validate()?;
         Ok(PpcMachine {
             cfg: cfg.clone(),
@@ -59,9 +74,12 @@ impl<S: TraceSink> PpcMachine<S> {
             trig_calls: 0,
             load_stall: 0,
             store_stall: 0,
+            ecc_stall: 0,
+            retry_stall: 0,
             ops: 0,
             mem_words: 0,
             sink,
+            faults,
         })
     }
 
@@ -167,8 +185,59 @@ impl<S: TraceSink> PpcMachine<S> {
                 + self.serial_cycles
                 + self.trig_calls * self.cfg.trig_cycles
                 + self.load_stall
-                + self.store_stall,
+                + self.store_stall
+                + self.ecc_stall
+                + self.retry_stall,
         )
+    }
+
+    /// Checks the watchdog cycle budget against the cycles accumulated so
+    /// far. Programs call this at loop boundaries so oversized or
+    /// livelocked workloads abort instead of running unboundedly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExceeded`] once the budget is passed.
+    #[inline]
+    pub fn check_budget(&self) -> Result<(), SimError> {
+        self.cfg.budget.check(self.cycles().get())
+    }
+
+    /// Consults the fault hook for one memory transfer of `data.len()`
+    /// words based at virtual word address `base_word`, applying bit
+    /// flips and stuck-lane effects directly to `data` (the program's
+    /// real buffer) and charging ECC/retry stall cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DetectedFault`] for an unrecoverable detected
+    /// fault and [`SimError::BudgetExceeded`] from the watchdog.
+    pub fn fault_transfer(&mut self, base_word: usize, data: &mut [u32]) -> Result<(), SimError> {
+        if !self.faults.is_enabled() {
+            return Ok(());
+        }
+        let fx = self.faults.transfer(FaultDomain::Dram, base_word, data.len());
+        for flip in &fx.flips {
+            if let Some(w) = data.get_mut(flip.offset) {
+                *w ^= flip.xor_mask;
+            }
+        }
+        // A stuck AltiVec lane corrupts the element its lane produces in
+        // every vector-width group of the transferred block.
+        if let Some(fault) = self.faults.stuck(FaultDomain::VectorLane) {
+            let lanes = self.cfg.vector_lanes.max(1);
+            let mut i = fault.index % lanes;
+            while i < data.len() {
+                data[i] = fault.force(data[i]);
+                i += lanes;
+            }
+        }
+        self.ecc_stall += fx.ecc_cycles;
+        self.retry_stall += fx.retry_cycles;
+        if let Some(what) = &fx.failure {
+            return Err(SimError::detected_fault(what.clone()));
+        }
+        self.check_budget()
     }
 
     /// Marks a program phase boundary in the trace: an instant event plus
@@ -193,12 +262,14 @@ impl<S: TraceSink> PpcMachine<S> {
     #[must_use]
     pub fn finish(mut self, verification: Verification) -> KernelRun {
         let issue = (self.instrs as f64 / self.cfg.ipc).ceil() as u64;
-        let entries: [(&'static str, &'static str, u64); 5] = [
+        let entries: [(&'static str, &'static str, u64); 7] = [
             ("issue", "superscalar-issue", issue),
             ("serial", "dependent-chain", self.serial_cycles),
             ("libm", "trig-library-calls", self.trig_calls * self.cfg.trig_cycles),
             ("load-stall", "cache-load-miss-stall", self.load_stall),
             ("store-stall", "cache-store-miss-stall", self.store_stall),
+            ("ecc", "ecc-correct-stall", self.ecc_stall),
+            ("retry", "dram-retry-stall", self.retry_stall),
         ];
         let mut breakdown = CycleBreakdown::new();
         let mut t = 0u64;

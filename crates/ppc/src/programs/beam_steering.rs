@@ -6,6 +6,7 @@
 
 use triarch_kernels::beam_steering::BeamSteeringWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
@@ -37,9 +38,26 @@ pub fn run_traced<S: TraceSink>(
     variant: Variant,
     sink: S,
 ) -> Result<KernelRun, SimError> {
+    run_faulted(cfg, workload, variant, sink, NoFaults)
+}
+
+/// Like [`run_traced`], but additionally consults `faults` at the memory
+/// transfer of each direction's output block and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &PpcConfig,
+    workload: &BeamSteeringWorkload,
+    variant: Variant,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
     let e = workload.elements();
     let out_base = 2 * e;
-    let mut m = PpcMachine::with_sink(cfg, sink)?;
+    let mut m = PpcMachine::with_hooks(cfg, sink, faults)?;
     let mut out = Vec::with_capacity(workload.outputs());
 
     for dwell in 0..workload.dwells() {
@@ -79,7 +97,16 @@ pub fn run_traced<S: TraceSink>(
                     }
                 }
             }
+            // This direction's output block crosses the DRAM fault
+            // surface as one streamed write-back.
+            let start = out.len() - e;
+            let mut bits: Vec<u32> = out[start..].iter().map(|&v| v as u32).collect();
+            m.fault_transfer(out_base + start, &mut bits)?;
+            for (i, b) in bits.into_iter().enumerate() {
+                out[start + i] = b as i32;
+            }
         }
+        m.check_budget()?;
         m.checkpoint("dwell-done");
     }
 

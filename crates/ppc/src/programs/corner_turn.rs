@@ -8,6 +8,7 @@
 
 use triarch_kernels::corner_turn::CornerTurnWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
@@ -39,11 +40,28 @@ pub fn run_traced<S: TraceSink>(
     variant: Variant,
     sink: S,
 ) -> Result<KernelRun, SimError> {
+    run_faulted(cfg, workload, variant, sink, NoFaults)
+}
+
+/// Like [`run_traced`], but additionally consults `faults` at the memory
+/// transfer of each output row and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &PpcConfig,
+    workload: &CornerTurnWorkload,
+    variant: Variant,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
     let rows = workload.rows();
     let cols = workload.cols();
     let src = workload.source_slice();
     let mut dst = vec![0u32; rows * cols];
-    let mut m = PpcMachine::with_sink(cfg, sink)?;
+    let mut m = PpcMachine::with_hooks(cfg, sink, faults)?;
 
     // Virtual layout: src at 0, dst right after.
     let dst_base = rows * cols;
@@ -58,6 +76,7 @@ pub fn run_traced<S: TraceSink>(
                     m.store(dst_base + c * rows + r);
                     m.issue(2); // index arithmetic + loop
                 }
+                m.check_budget()?;
             }
         }
         Variant::Altivec => {
@@ -81,10 +100,14 @@ pub fn run_traced<S: TraceSink>(
                     m.issue(1);
                     c += w;
                 }
+                m.check_budget()?;
             }
         }
     }
 
+    // The destination matrix crosses the DRAM fault surface as one long
+    // streamed write-back.
+    m.fault_transfer(dst_base, &mut dst)?;
     m.checkpoint("transpose-loop-done");
     let verification = verify_words(&dst, &workload.reference_transpose());
     Ok(m.finish(verification))

@@ -9,6 +9,7 @@
 use triarch_fft::{fft_radix2, ifft_radix2, Cf32};
 use triarch_kernels::cslc::CslcWorkload;
 use triarch_kernels::verify::verify_complex;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
@@ -25,7 +26,7 @@ const WEIGHTS: usize = 1 << 20;
 /// Output region base.
 const OUTPUT: usize = 1 << 22;
 
-fn charge_fft<S: TraceSink>(m: &mut PpcMachine<S>, n: usize, variant: Variant) {
+fn charge_fft<S: TraceSink, F: FaultHook>(m: &mut PpcMachine<S, F>, n: usize, variant: Variant) {
     let stages = n.trailing_zeros() as u64;
     let butterflies = (n as u64 / 2) * stages;
     match variant {
@@ -90,11 +91,28 @@ pub fn run_traced<S: TraceSink>(
     variant: Variant,
     sink: S,
 ) -> Result<KernelRun, SimError> {
+    run_faulted(cfg, workload, variant, sink, NoFaults)
+}
+
+/// Like [`run_traced`], but additionally consults `faults` at the memory
+/// transfer of each cancelled sub-band block and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &PpcConfig,
+    workload: &CslcWorkload,
+    variant: Variant,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
     let c = *workload.config();
     let n = c.fft_len;
     let hop = c.hop();
     let channels = c.main_channels + c.aux_channels;
-    let mut m = PpcMachine::with_sink(cfg, sink)?;
+    let mut m = PpcMachine::with_hooks(cfg, sink, faults)?;
 
     let mut out = vec![Cf32::ZERO; c.main_channels * c.subbands * n];
     for s in 0..c.subbands {
@@ -147,8 +165,18 @@ pub fn run_traced<S: TraceSink>(
             for k in 0..2 * n {
                 m.store(OUTPUT + (mc * c.subbands + s) * 2 * n + k);
             }
+            // The cancelled block crosses the DRAM fault surface as one
+            // streamed write-back of its planar bit pattern.
+            let base = OUTPUT + (mc * c.subbands + s) * 2 * n;
+            let mut bits: Vec<u32> =
+                spec.iter().flat_map(|v| [v.re.to_bits(), v.im.to_bits()]).collect();
+            m.fault_transfer(base, &mut bits)?;
+            for (k, p) in bits.chunks_exact(2).enumerate() {
+                spec[k] = Cf32::new(f32::from_bits(p[0]), f32::from_bits(p[1]));
+            }
             out[(mc * c.subbands + s) * n..(mc * c.subbands + s + 1) * n].copy_from_slice(&spec);
         }
+        m.check_budget()?;
         m.checkpoint("subband-done");
     }
 

@@ -33,6 +33,9 @@
 //! # }
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod config;
 pub mod machine;
 pub mod network;
@@ -43,8 +46,9 @@ pub use machine::RawMachine;
 pub use network::{PacketFormat, StaticNetwork, TileId};
 
 use triarch_kernels::{BeamSteeringWorkload, CornerTurnWorkload, CslcWorkload, SignalMachine};
-use triarch_simcore::trace::TraceSink;
-use triarch_simcore::{KernelRun, MachineInfo, SimError};
+use triarch_simcore::faults::FaultHook;
+use triarch_simcore::trace::{NullSink, TraceSink};
+use triarch_simcore::{CycleBudget, KernelRun, MachineInfo, SimError};
 
 /// The Raw machine: configuration plus the Table 2 identity.
 #[derive(Debug, Clone)]
@@ -87,6 +91,10 @@ impl SignalMachine for Raw {
         &self.info
     }
 
+    fn set_cycle_budget(&mut self, budget: CycleBudget) {
+        self.config.budget = budget;
+    }
+
     fn corner_turn(&mut self, workload: &CornerTurnWorkload) -> Result<KernelRun, SimError> {
         programs::corner_turn::run(&self.config, workload)
     }
@@ -121,6 +129,30 @@ impl SignalMachine for Raw {
         sink: &mut dyn TraceSink,
     ) -> Result<KernelRun, SimError> {
         programs::beam_steering::run_traced(&self.config, workload, sink)
+    }
+
+    fn corner_turn_faulted(
+        &mut self,
+        workload: &CornerTurnWorkload,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError> {
+        programs::corner_turn::run_faulted(&self.config, workload, NullSink, faults)
+    }
+
+    fn cslc_faulted(
+        &mut self,
+        workload: &CslcWorkload,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError> {
+        programs::cslc::run_faulted(&self.config, workload, NullSink, faults)
+    }
+
+    fn beam_steering_faulted(
+        &mut self,
+        workload: &BeamSteeringWorkload,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError> {
+        programs::beam_steering::run_faulted(&self.config, workload, NullSink, faults)
     }
 }
 

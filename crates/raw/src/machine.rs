@@ -6,9 +6,11 @@
 //! sub-bands); a phase completes when its slowest resource does:
 //! `max(slowest tile, DRAM-port occupancy, network occupancy)`.
 
+use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults, TransferFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
-    AccessPattern, CycleBreakdown, Cycles, DramModel, KernelRun, SimError, Verification, WordMemory,
+    AccessPattern, CycleBreakdown, CycleBudget, Cycles, DramModel, KernelRun, SimError,
+    Verification, WordMemory,
 };
 
 use crate::config::RawConfig;
@@ -29,11 +31,12 @@ struct TileCounters {
 
 /// The Raw machine state.
 ///
-/// Generic over a [`TraceSink`]; the default [`NullSink`] is statically
-/// dispatched, disabled, and empty, so an untraced machine pays nothing
-/// for the instrumentation.
+/// Generic over a [`TraceSink`] and a [`FaultHook`]; the defaults
+/// ([`NullSink`], [`NoFaults`]) are statically dispatched, disabled, and
+/// empty, so an untraced, unfaulted machine pays nothing for the
+/// instrumentation.
 #[derive(Debug, Clone)]
-pub struct RawMachine<S: TraceSink = NullSink> {
+pub struct RawMachine<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     cfg: RawConfig,
     dram: DramModel,
     mem: WordMemory,
@@ -45,10 +48,19 @@ pub struct RawMachine<S: TraceSink = NullSink> {
     ops: u64,
     mem_words: u64,
     in_phase: bool,
+    budget: CycleBudget,
+    /// Simulated activity charged so far (watchdog basis).
+    spent: u64,
+    /// Activity accrued inside the open phase, before `end_phase` settles
+    /// it into the breakdown. Counts every resource's raw demand so a
+    /// livelocked loop trips the watchdog without waiting for a phase
+    /// boundary.
+    phase_activity: u64,
     sink: S,
+    faults: F,
 }
 
-impl RawMachine<NullSink> {
+impl RawMachine<NullSink, NoFaults> {
     /// Builds an untraced machine from a configuration.
     ///
     /// # Errors
@@ -59,13 +71,24 @@ impl RawMachine<NullSink> {
     }
 }
 
-impl<S: TraceSink> RawMachine<S> {
+impl<S: TraceSink> RawMachine<S, NoFaults> {
     /// Builds a machine that emits cycle-attribution events into `sink`.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
     pub fn with_sink(cfg: &RawConfig, sink: S) -> Result<Self, SimError> {
+        Self::with_hooks(cfg, sink, NoFaults)
+    }
+}
+
+impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
+    /// Builds a machine with both a trace sink and a fault hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
+    pub fn with_hooks(cfg: &RawConfig, sink: S, faults: F) -> Result<Self, SimError> {
         cfg.validate()?;
         Ok(RawMachine {
             dram: DramModel::new(cfg.dram)?,
@@ -78,8 +101,12 @@ impl<S: TraceSink> RawMachine<S> {
             ops: 0,
             mem_words: 0,
             in_phase: false,
+            budget: cfg.budget,
+            spent: 0,
+            phase_activity: 0,
             cfg: cfg.clone(),
             sink,
+            faults,
         })
     }
 
@@ -124,6 +151,7 @@ impl<S: TraceSink> RawMachine<S> {
         self.tiles.iter_mut().for_each(|t| *t = TileCounters::default());
         self.phase_mem = 0;
         self.phase_mem_overhead = 0;
+        self.phase_activity = 0;
         if self.sink.is_enabled() {
             self.sink.instant(TRACK_TILES, "phase-begin", self.breakdown.total().get());
         }
@@ -139,7 +167,8 @@ impl<S: TraceSink> RawMachine<S> {
     pub fn tile_issue(&mut self, tile: usize, instrs: u64) -> Result<(), SimError> {
         self.check_phase()?;
         self.tile_mut(tile)?.issue += instrs;
-        Ok(())
+        self.phase_activity = self.phase_activity.saturating_add(instrs);
+        self.budget.check(self.spent.saturating_add(self.phase_activity))
     }
 
     /// Counts arithmetic operations for utilization reporting (does not
@@ -156,7 +185,8 @@ impl<S: TraceSink> RawMachine<S> {
     pub fn tile_stall(&mut self, tile: usize, cycles: u64) -> Result<(), SimError> {
         self.check_phase()?;
         self.tile_mut(tile)?.stall += cycles;
-        Ok(())
+        self.phase_activity = self.phase_activity.saturating_add(cycles);
+        self.budget.check(self.spent.saturating_add(self.phase_activity))
     }
 
     /// Charges static-network occupancy on a tile: `words` at one word
@@ -172,7 +202,8 @@ impl<S: TraceSink> RawMachine<S> {
         t.net_words += words;
         // The pipeline-fill latency is exposed once per stream.
         t.stall += latency;
-        Ok(())
+        self.phase_activity = self.phase_activity.saturating_add(words.saturating_add(latency));
+        self.budget.check(self.spent.saturating_add(self.phase_activity))
     }
 
     fn check_phase(&self) -> Result<(), SimError> {
@@ -211,7 +242,47 @@ impl<S: TraceSink> RawMachine<S> {
         self.mem_words += words as u64;
         self.phase_mem += (cost.data + cost.startup).get();
         self.phase_mem_overhead += cost.overhead.get();
-        Ok(())
+        self.phase_activity =
+            self.phase_activity.saturating_add((cost.data + cost.startup + cost.overhead).get());
+
+        if self.faults.is_enabled() {
+            // DRAM bit flips land in off-chip memory itself (persistent
+            // cell corruption observed by this and later transfers).
+            let fx = self.faults.transfer(FaultDomain::Dram, addr, words);
+            for flip in &fx.flips {
+                let a = transfer_addr(addr, flip.offset, pattern);
+                if let Ok(v) = self.mem.read_u32(a) {
+                    self.mem.write_u32(a, v ^ flip.xor_mask)?;
+                }
+            }
+            // A stuck tile corrupts the words it moves through the port:
+            // transfers round-robin words across tiles, so every
+            // `tiles`-th word of the region passes the faulty datapath.
+            if let Some(fault) = self.faults.stuck(FaultDomain::Tile) {
+                let tiles = self.cfg.tiles().max(1);
+                let mut i = fault.index % tiles;
+                while i < words {
+                    let a = transfer_addr(addr, i, pattern);
+                    if let Ok(v) = self.mem.read_u32(a) {
+                        self.mem.write_u32(a, fault.force(v))?;
+                    }
+                    i += tiles;
+                }
+            }
+            self.apply_fault_costs(&fx)?;
+        }
+        self.budget.check(self.spent.saturating_add(self.phase_activity))
+    }
+
+    /// Charges ECC/retry recovery cycles from a transfer's fault effects
+    /// and converts an unrecoverable failure into a typed error.
+    fn apply_fault_costs(&mut self, fx: &TransferFaults) -> Result<(), SimError> {
+        self.charge(TRACK_MEM, "ecc", "ecc-correct", Cycles::new(fx.ecc_cycles));
+        self.charge(TRACK_MEM, "retry", "dram-retry", Cycles::new(fx.retry_cycles));
+        match &fx.failure {
+            Some(what) => Err(SimError::detected_fault(what.clone())),
+            None => Ok(()),
+        }
     }
 
     /// Closes a phase. The phase costs `max(slowest tile, port occupancy,
@@ -268,7 +339,8 @@ impl<S: TraceSink> RawMachine<S> {
         if self.sink.is_enabled() {
             self.sink.instant(TRACK_TILES, "phase-end", self.breakdown.total().get());
         }
-        Ok(())
+        self.phase_activity = 0;
+        self.budget.check(self.spent)
     }
 
     /// Charges the breakdown and mirrors the charge as a counted span, so
@@ -287,6 +359,7 @@ impl<S: TraceSink> RawMachine<S> {
             let at = self.breakdown.total().get();
             self.sink.span(track, category, name, at, cycles.get());
         }
+        self.spent = self.spent.saturating_add(cycles.get());
         self.breakdown.charge(category, cycles);
     }
 
@@ -312,6 +385,18 @@ impl<S: TraceSink> RawMachine<S> {
             mem_words: self.mem_words,
             verification,
         })
+    }
+}
+
+/// Maps a transfer-relative word index to its absolute memory address
+/// under an access pattern.
+fn transfer_addr(base: usize, idx: usize, pattern: AccessPattern) -> usize {
+    match pattern {
+        AccessPattern::Sequential => base + idx,
+        AccessPattern::Strided { stride_words } => base + idx * stride_words,
+        AccessPattern::Chunked { chunk_words, stride_words } => {
+            base + (idx / chunk_words) * stride_words + idx % chunk_words
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 
 use triarch_kernels::beam_steering::BeamSteeringWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError};
 
@@ -34,6 +35,22 @@ pub fn run_traced<S: TraceSink>(
     workload: &BeamSteeringWorkload,
     sink: S,
 ) -> Result<KernelRun, SimError> {
+    run_faulted(cfg, workload, sink, NoFaults)
+}
+
+/// Like [`run_traced`], but additionally consults `faults` at every DRAM
+/// transfer and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &RawConfig,
+    workload: &BeamSteeringWorkload,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
     let e = workload.elements();
     let cal_a_base = 0usize;
     let cal_b_base = e;
@@ -43,7 +60,7 @@ pub fn run_traced<S: TraceSink>(
         return Err(SimError::capacity("raw off-chip memory", needed, cfg.mem_words));
     }
 
-    let mut m = RawMachine::with_sink(cfg, sink)?;
+    let mut m = RawMachine::with_hooks(cfg, sink, faults)?;
     let cal_a: Vec<u32> = workload.cal_coarse().iter().map(|&v| v as u32).collect();
     let cal_b: Vec<u32> = workload.cal_fine().iter().map(|&v| v as u32).collect();
     m.memory_mut().write_block_u32(cal_a_base, &cal_a)?;

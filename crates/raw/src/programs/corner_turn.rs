@@ -12,6 +12,7 @@
 
 use triarch_kernels::corner_turn::CornerTurnWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError};
 
@@ -41,6 +42,22 @@ pub fn run_traced<S: TraceSink>(
     workload: &CornerTurnWorkload,
     sink: S,
 ) -> Result<KernelRun, SimError> {
+    run_faulted(cfg, workload, sink, NoFaults)
+}
+
+/// Like [`run_traced`], but additionally consults `faults` at every DRAM
+/// transfer and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &RawConfig,
+    workload: &CornerTurnWorkload,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
     let rows = workload.rows();
     let cols = workload.cols();
     let src_pitch = cols + ROW_PAD_WORDS;
@@ -56,7 +73,7 @@ pub fn run_traced<S: TraceSink>(
     // for smaller local memories or matrices.
     let block = 64usize.min((cfg.local_words as f64).sqrt() as usize).min(rows).min(cols).max(1);
 
-    let mut m = RawMachine::with_sink(cfg, sink)?;
+    let mut m = RawMachine::with_hooks(cfg, sink, faults)?;
     let data = workload.source_slice();
     for r in 0..rows {
         m.memory_mut()

@@ -14,6 +14,7 @@ use triarch_fft::ops::radix2_ops;
 use triarch_fft::{fft_radix2, ifft_radix2, Cf32};
 use triarch_kernels::cslc::CslcWorkload;
 use triarch_kernels::verify::verify_complex;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{AccessPattern, KernelRun, SimError};
 
@@ -78,6 +79,22 @@ pub fn run_traced<S: TraceSink>(
     run_mode_traced(cfg, workload, CslcMode::CacheMimd, sink)
 }
 
+/// Like [`run_traced`], but additionally consults `faults` at every DRAM
+/// transfer and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &RawConfig,
+    workload: &CslcWorkload,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
+    run_mode_faulted(cfg, workload, CslcMode::CacheMimd, sink, faults)
+}
+
 /// Runs CSLC on Raw in an explicit data-delivery mode.
 ///
 /// # Errors
@@ -97,6 +114,16 @@ fn run_mode_traced<S: TraceSink>(
     workload: &CslcWorkload,
     mode: CslcMode,
     sink: S,
+) -> Result<KernelRun, SimError> {
+    run_mode_faulted(cfg, workload, mode, sink, NoFaults)
+}
+
+fn run_mode_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &RawConfig,
+    workload: &CslcWorkload,
+    mode: CslcMode,
+    sink: S,
+    faults: F,
 ) -> Result<KernelRun, SimError> {
     let c = *workload.config();
     let n = c.fft_len;
@@ -121,7 +148,7 @@ fn run_mode_traced<S: TraceSink>(
         return Err(SimError::capacity("raw tile local memory", working, cfg.local_words));
     }
 
-    let mut m = RawMachine::with_sink(cfg, sink)?;
+    let mut m = RawMachine::with_hooks(cfg, sink, faults)?;
     for ch in 0..channels {
         let data = if ch < c.main_channels {
             workload.main_channel(ch)
@@ -145,7 +172,7 @@ fn run_mode_traced<S: TraceSink>(
     let (fft_instrs, fft_flops) = fft_issue(n, mode);
     let mesh_hops = (2 * (cfg.mesh_width - 1)) as u64;
     let read_complex =
-        |m: &RawMachine<S>, base: usize, len: usize| -> Result<Vec<Cf32>, SimError> {
+        |m: &RawMachine<S, F>, base: usize, len: usize| -> Result<Vec<Cf32>, SimError> {
             let words = m.memory().read_block_u32(base, 2 * len)?;
             Ok(words
                 .chunks_exact(2)

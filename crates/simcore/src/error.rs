@@ -35,6 +35,19 @@ pub enum SimError {
         /// Human-readable description of the unsupported request.
         what: String,
     },
+    /// The watchdog cycle budget was exhausted before the run finished.
+    BudgetExceeded {
+        /// Simulated cycles accumulated when the watchdog fired.
+        spent: u64,
+        /// The budget limit that was exceeded.
+        limit: u64,
+    },
+    /// The machine detected an unrecoverable injected fault (uncorrectable
+    /// ECC error, dropped transaction past its retry budget) and aborted.
+    DetectedFault {
+        /// Description of the detected fault, from the fault hook.
+        what: String,
+    },
 }
 
 impl SimError {
@@ -52,6 +65,18 @@ impl SimError {
     pub fn capacity(what: impl Into<String>, needed: usize, available: usize) -> Self {
         SimError::Capacity { what: what.into(), needed, available }
     }
+
+    /// Convenience constructor for [`SimError::DetectedFault`].
+    pub fn detected_fault(what: impl Into<String>) -> Self {
+        SimError::DetectedFault { what: what.into() }
+    }
+
+    /// True for errors that represent a *detected* abnormal run (watchdog
+    /// or fault detection) rather than a configuration/shape problem.
+    #[must_use]
+    pub fn is_detected_abort(&self) -> bool {
+        matches!(self, SimError::BudgetExceeded { .. } | SimError::DetectedFault { .. })
+    }
 }
 
 impl fmt::Display for SimError {
@@ -65,6 +90,10 @@ impl fmt::Display for SimError {
                 write!(f, "{what} exhausted: needed {needed}, available {available}")
             }
             SimError::Unsupported { what } => write!(f, "unsupported: {what}"),
+            SimError::BudgetExceeded { spent, limit } => {
+                write!(f, "cycle budget exceeded: spent {spent} cycles of a {limit}-cycle budget")
+            }
+            SimError::DetectedFault { what } => write!(f, "detected fault: {what}"),
         }
     }
 }
@@ -89,6 +118,44 @@ mod tests {
 
         let e = SimError::unsupported("non-square corner turn");
         assert!(e.to_string().starts_with("unsupported"));
+
+        let e = SimError::BudgetExceeded { spent: 501, limit: 500 };
+        assert_eq!(e.to_string(), "cycle budget exceeded: spent 501 cycles of a 500-cycle budget");
+
+        let e = SimError::detected_fault("uncorrectable double-bit dram error at word 7");
+        assert!(e.to_string().starts_with("detected fault:"));
+        assert!(e.to_string().contains("word 7"));
+    }
+
+    /// Every variant must render a non-empty, lowercase-leading message.
+    /// The match is deliberately wildcard-free: adding a variant without a
+    /// Display arm and coverage here fails to compile.
+    #[test]
+    fn display_covers_every_variant_exhaustively() {
+        let samples = [
+            SimError::invalid_config("x"),
+            SimError::OutOfBounds { addr: 1, size: 1 },
+            SimError::capacity("x", 2, 1),
+            SimError::unsupported("x"),
+            SimError::BudgetExceeded { spent: 2, limit: 1 },
+            SimError::detected_fault("x"),
+        ];
+        for e in samples {
+            // Exhaustive: no `_` arm, so new variants break this test at
+            // compile time until they are added to `samples` above.
+            let expect_detected_abort = match &e {
+                SimError::InvalidConfig { .. } => false,
+                SimError::OutOfBounds { .. } => false,
+                SimError::Capacity { .. } => false,
+                SimError::Unsupported { .. } => false,
+                SimError::BudgetExceeded { .. } => true,
+                SimError::DetectedFault { .. } => true,
+            };
+            assert_eq!(e.is_detected_abort(), expect_detected_abort, "{e:?}");
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().is_some_and(char::is_lowercase), "{msg}");
+        }
     }
 
     #[test]

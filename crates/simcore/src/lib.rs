@@ -36,6 +36,7 @@
 //! assert!((seconds - 0.00277).abs() < 1e-5);
 //! ```
 
+pub mod budget;
 pub mod cycles;
 pub mod dram;
 pub mod error;
@@ -44,8 +45,10 @@ pub mod mem;
 pub mod model;
 pub mod stats;
 
+pub use triarch_faults as faults;
 pub use triarch_trace as trace;
 
+pub use budget::CycleBudget;
 pub use cycles::{ClockFrequency, Cycles};
 pub use dram::{AccessPattern, DramConfig, DramCost, DramModel};
 pub use error::SimError;

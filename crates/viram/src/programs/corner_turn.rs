@@ -22,6 +22,7 @@
 
 use triarch_kernels::corner_turn::CornerTurnWorkload;
 use triarch_kernels::verify::verify_words;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
@@ -86,10 +87,26 @@ pub fn run_traced<S: TraceSink>(
     workload: &CornerTurnWorkload,
     sink: S,
 ) -> Result<KernelRun, SimError> {
+    run_faulted(cfg, workload, sink, NoFaults)
+}
+
+/// Like [`run_traced`], but additionally consults `faults` at every DRAM
+/// transfer and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &ViramConfig,
+    workload: &CornerTurnWorkload,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
     if fits_on_chip(cfg, workload.rows(), workload.cols()) {
-        resident_traced(cfg, workload, sink)
+        resident_faulted(cfg, workload, sink, faults)
     } else {
-        streaming_traced(cfg, workload, sink)
+        streaming_faulted(cfg, workload, sink, faults)
     }
 }
 
@@ -111,13 +128,14 @@ pub fn run_resident(
     cfg: &ViramConfig,
     workload: &CornerTurnWorkload,
 ) -> Result<KernelRun, SimError> {
-    resident_traced(cfg, workload, NullSink)
+    resident_faulted(cfg, workload, NullSink, NoFaults)
 }
 
-fn resident_traced<S: TraceSink>(
+fn resident_faulted<S: TraceSink, F: FaultHook>(
     cfg: &ViramConfig,
     workload: &CornerTurnWorkload,
     sink: S,
+    faults: F,
 ) -> Result<KernelRun, SimError> {
     let rows = workload.rows();
     let cols = workload.cols();
@@ -135,7 +153,7 @@ fn resident_traced<S: TraceSink>(
         return Err(SimError::capacity("viram on-chip DRAM", needed, cfg.dram_words));
     }
 
-    let mut unit = VectorUnit::with_sink(cfg, sink)?;
+    let mut unit = VectorUnit::with_hooks(cfg, sink, faults)?;
 
     // Workload data is resident in on-chip DRAM (panel layout), as in the
     // paper: the corner turn measures on-chip bandwidth, not ingest.
@@ -156,8 +174,8 @@ fn resident_traced<S: TraceSink>(
 }
 
 /// The strided-load / unit-store panel transpose over on-chip data.
-fn transpose_on_chip<S: TraceSink>(
-    unit: &mut VectorUnit<S>,
+fn transpose_on_chip<S: TraceSink, F: FaultHook>(
+    unit: &mut VectorUnit<S, F>,
     src: &PanelLayout,
     dst: &PanelLayout,
     rows: usize,
@@ -189,13 +207,14 @@ pub fn run_streaming(
     cfg: &ViramConfig,
     workload: &CornerTurnWorkload,
 ) -> Result<KernelRun, SimError> {
-    streaming_traced(cfg, workload, NullSink)
+    streaming_faulted(cfg, workload, NullSink, NoFaults)
 }
 
-fn streaming_traced<S: TraceSink>(
+fn streaming_faulted<S: TraceSink, F: FaultHook>(
     cfg: &ViramConfig,
     workload: &CornerTurnWorkload,
     sink: S,
+    faults: F,
 ) -> Result<KernelRun, SimError> {
     let rows = workload.rows();
     let cols = workload.cols();
@@ -211,7 +230,7 @@ fn streaming_traced<S: TraceSink>(
         ));
     }
 
-    let mut unit = VectorUnit::with_sink(cfg, sink)?;
+    let mut unit = VectorUnit::with_hooks(cfg, sink, faults)?;
     let data = workload.source_slice();
     let mut out = vec![0u32; rows * cols];
     let stripe = cfg.dram.row_words * cfg.dram.banks_per_wing();

@@ -8,6 +8,7 @@
 use triarch_fft::Cf32;
 use triarch_kernels::cslc::CslcWorkload;
 use triarch_kernels::verify::verify_complex;
+use triarch_simcore::faults::{FaultHook, NoFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{KernelRun, SimError};
 
@@ -35,6 +36,22 @@ pub fn run_traced<S: TraceSink>(
     workload: &CslcWorkload,
     sink: S,
 ) -> Result<KernelRun, SimError> {
+    run_faulted(cfg, workload, sink, NoFaults)
+}
+
+/// Like [`run_traced`], but additionally consults `faults` at every DRAM
+/// transfer and applies its effects.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`SimError::DetectedFault`] /
+/// [`SimError::BudgetExceeded`] from the hook and watchdog.
+pub fn run_faulted<S: TraceSink, F: FaultHook>(
+    cfg: &ViramConfig,
+    workload: &CslcWorkload,
+    sink: S,
+    faults: F,
+) -> Result<KernelRun, SimError> {
     let c = *workload.config();
     let n = c.fft_len;
     let hop = c.hop();
@@ -55,7 +72,7 @@ pub fn run_traced<S: TraceSink>(
         return Err(SimError::capacity("viram on-chip DRAM", needed, cfg.dram_words));
     }
 
-    let mut unit = VectorUnit::with_sink(cfg, sink)?;
+    let mut unit = VectorUnit::with_hooks(cfg, sink, faults)?;
 
     // Stage resident data (uncharged: inputs arrive via DMA ahead of the
     // processing interval).
@@ -83,7 +100,7 @@ pub fn run_traced<S: TraceSink>(
     let lo = n.min(cfg.mvl);
     let hi = n - lo;
     let load_planar =
-        |unit: &mut VectorUnit<S>, re_addr: usize, im_addr: usize| -> Result<(), SimError> {
+        |unit: &mut VectorUnit<S, F>, re_addr: usize, im_addr: usize| -> Result<(), SimError> {
             unit.vload_unit(regs::DATA_A[0], re_addr, lo)?;
             unit.vload_unit(regs::DATA_A[2], im_addr, lo)?;
             if hi > 0 {
@@ -93,7 +110,7 @@ pub fn run_traced<S: TraceSink>(
             Ok(())
         };
     let store_planar =
-        |unit: &mut VectorUnit<S>, re_addr: usize, im_addr: usize| -> Result<(), SimError> {
+        |unit: &mut VectorUnit<S, F>, re_addr: usize, im_addr: usize| -> Result<(), SimError> {
             unit.vstore_unit(regs::DATA_A[0], re_addr, lo)?;
             unit.vstore_unit(regs::DATA_A[2], im_addr, lo)?;
             if hi > 0 {

@@ -9,6 +9,7 @@
 //! increase the number of cycles by a factor of 1.67").
 
 use triarch_fft::twiddle::bit_reverse;
+use triarch_simcore::faults::FaultHook;
 use triarch_simcore::trace::TraceSink;
 use triarch_simcore::SimError;
 
@@ -148,7 +149,10 @@ impl VfftPlan {
     /// # Errors
     ///
     /// Propagates register/length errors from the unit.
-    pub fn load_tables<S: TraceSink>(&self, unit: &mut VectorUnit<S>) -> Result<(), SimError> {
+    pub fn load_tables<S: TraceSink, F: FaultHook>(
+        &self,
+        unit: &mut VectorUnit<S, F>,
+    ) -> Result<(), SimError> {
         for (s, stage) in self.stages.iter().enumerate().skip(1) {
             let base = regs::TABLES + 2 * (s - 1);
             unit.vset_table(base, &stage.w_re)?;
@@ -169,7 +173,10 @@ impl VfftPlan {
     ///
     /// Propagates unit errors; table registers must have been loaded via
     /// [`load_tables`](Self::load_tables).
-    pub fn execute<S: TraceSink>(&self, unit: &mut VectorUnit<S>) -> Result<(), SimError> {
+    pub fn execute<S: TraceSink, F: FaultHook>(
+        &self,
+        unit: &mut VectorUnit<S, F>,
+    ) -> Result<(), SimError> {
         let nb = self.n / 2; // butterflies per stage, = gather length
         let lo_len = self.n.min(self.mvl);
         let mut cur = regs::DATA_A;

@@ -13,9 +13,11 @@
 //! larger is charged, modeling the deep decoupling between the DRAM
 //! interface and the vector pipeline.
 
+use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults, TransferFaults};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
-    AccessPattern, CycleBreakdown, Cycles, DramModel, KernelRun, SimError, Verification, WordMemory,
+    AccessPattern, CycleBreakdown, CycleBudget, Cycles, DramModel, KernelRun, SimError,
+    Verification, WordMemory,
 };
 
 use crate::config::ViramConfig;
@@ -82,11 +84,12 @@ struct OverlapAcc {
 
 /// The functional-plus-timing vector unit.
 ///
-/// Generic over a [`TraceSink`]; the default [`NullSink`] is statically
-/// dispatched, disabled, and empty, so an untraced unit pays nothing for
-/// the instrumentation.
+/// Generic over a [`TraceSink`] and a [`FaultHook`]; the defaults
+/// ([`NullSink`], [`NoFaults`]) are statically dispatched, disabled, and
+/// empty, so an untraced, unfaulted unit pays nothing for either kind of
+/// instrumentation.
 #[derive(Debug, Clone)]
-pub struct VectorUnit<S: TraceSink = NullSink> {
+pub struct VectorUnit<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     cfg: ViramConfig,
     regs: Vec<Vec<u32>>,
     mem: WordMemory,
@@ -97,10 +100,16 @@ pub struct VectorUnit<S: TraceSink = NullSink> {
     ops: u64,
     mem_words: u64,
     overlap: Option<OverlapAcc>,
+    budget: CycleBudget,
+    /// Simulated activity the watchdog counts: *all* charged cycles,
+    /// including both sides of an overlap region (so a region cannot hide
+    /// unbounded work from the budget).
+    spent: u64,
     sink: S,
+    faults: F,
 }
 
-impl VectorUnit<NullSink> {
+impl VectorUnit<NullSink, NoFaults> {
     /// Builds an untraced vector unit (register file, DRAM, TLB) from a
     /// config.
     ///
@@ -112,13 +121,24 @@ impl VectorUnit<NullSink> {
     }
 }
 
-impl<S: TraceSink> VectorUnit<S> {
+impl<S: TraceSink> VectorUnit<S, NoFaults> {
     /// Builds a vector unit that emits cycle-attribution events into `sink`.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
     pub fn with_sink(cfg: &ViramConfig, sink: S) -> Result<Self, SimError> {
+        Self::with_hooks(cfg, sink, NoFaults)
+    }
+}
+
+impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
+    /// Builds a vector unit with both a trace sink and a fault hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations.
+    pub fn with_hooks(cfg: &ViramConfig, sink: S, faults: F) -> Result<Self, SimError> {
         cfg.validate()?;
         Ok(VectorUnit {
             regs: vec![vec![0; cfg.mvl]; cfg.vregs],
@@ -130,8 +150,11 @@ impl<S: TraceSink> VectorUnit<S> {
             ops: 0,
             mem_words: 0,
             overlap: None,
+            budget: cfg.budget,
+            spent: 0,
             cfg: cfg.clone(),
             sink,
+            faults,
         })
     }
 
@@ -180,6 +203,7 @@ impl<S: TraceSink> VectorUnit<S> {
         if cycles == Cycles::ZERO {
             return;
         }
+        self.spent += cycles.get();
         let track = if is_mem { TRACK_MEM } else { TRACK_VEC };
         match &mut self.overlap {
             Some(acc) => {
@@ -255,7 +279,7 @@ impl<S: TraceSink> VectorUnit<S> {
             self.breakdown.charge(category, cycles);
         }
         self.hidden += hidden;
-        Ok(())
+        self.budget.check(self.spent)
     }
 
     fn tlb_walk_strided(&mut self, addr: usize, stride: usize, vl: usize) -> u64 {
@@ -308,7 +332,54 @@ impl<S: TraceSink> VectorUnit<S> {
         );
         self.charge(true, "precharge", "row-precharge-activate", cost.overhead);
         self.charge(true, "tlb", "tlb-miss-stall", Cycles::new(misses * self.cfg.tlb_miss_cycles));
-        Ok(())
+        if self.faults.is_enabled() {
+            let fx = self.faults.transfer(FaultDomain::Dram, addr, vl);
+            self.apply_dram_faults(addr, stride, &fx)?;
+        }
+        self.budget.check(self.spent)
+    }
+
+    /// Applies a fault hook's verdict on one DRAM transfer: flips land in
+    /// the backing memory (at the transfer's own addressing), ECC and
+    /// retry costs are charged as their own breakdown categories, and an
+    /// unrecoverable failure aborts the run.
+    fn apply_dram_faults(
+        &mut self,
+        addr: usize,
+        stride: Option<usize>,
+        fx: &TransferFaults,
+    ) -> Result<(), SimError> {
+        if fx.is_clean() {
+            return Ok(());
+        }
+        for flip in &fx.flips {
+            let a = addr + flip.offset * stride.unwrap_or(1);
+            let word = self.mem.read_u32(a)?;
+            self.mem.write_u32(a, word ^ flip.xor_mask)?;
+        }
+        self.charge(true, "ecc", "ecc-correct", Cycles::new(fx.ecc_cycles));
+        self.charge(true, "retry", "dram-retry", Cycles::new(fx.retry_cycles));
+        match &fx.failure {
+            Some(what) => Err(SimError::detected_fault(what.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Applies an active stuck-at vector-lane fault to the `vl` computed
+    /// elements of `dst`: element `i` executes on physical lane
+    /// `i mod lanes`, so the stuck lane corrupts every `lanes`-th element.
+    fn apply_stuck_lane(&mut self, dst: usize, vl: usize) {
+        if !self.faults.is_enabled() {
+            return;
+        }
+        if let Some(fault) = self.faults.stuck(FaultDomain::VectorLane) {
+            let lanes = self.cfg.lanes.max(1);
+            let mut i = fault.index % lanes;
+            while i < vl {
+                self.regs[dst][i] = fault.force(self.regs[dst][i]);
+                i += lanes;
+            }
+        }
     }
 
     /// Current cycle position of the memory pipeline (for span placement).
@@ -418,11 +489,12 @@ impl<S: TraceSink> VectorUnit<S> {
             };
             self.regs[dst][i] = r.to_bits();
         }
+        self.apply_stuck_lane(dst, vl);
         self.ops += vl as u64;
         let data = vl.div_ceil(self.cfg.fp_ops_per_cycle()) as u64;
         self.charge(false, "compute", "vfp", Cycles::new(data));
         self.charge(false, "startup", "vector-startup", Cycles::new(self.cfg.vector_startup));
-        Ok(())
+        self.budget.check(self.spent)
     }
 
     /// Lane-wise integer operation; `Shr` shifts by the scalar `imm`
@@ -455,11 +527,12 @@ impl<S: TraceSink> VectorUnit<S> {
             };
             self.regs[dst][i] = r as u32;
         }
+        self.apply_stuck_lane(dst, vl);
         self.ops += vl as u64;
         let data = vl.div_ceil(self.cfg.int_ops_per_cycle()) as u64;
         self.charge(false, "compute", "vint", Cycles::new(data));
         self.charge(false, "startup", "vector-startup", Cycles::new(self.cfg.vector_startup));
-        Ok(())
+        self.budget.check(self.spent)
     }
 
     /// Broadcasts a scalar into every lane of `dst` (free-ish setup op).
@@ -474,7 +547,7 @@ impl<S: TraceSink> VectorUnit<S> {
             self.regs[dst][i] = value;
         }
         self.charge(false, "startup", "vsplat", Cycles::new(self.cfg.vector_startup));
-        Ok(())
+        self.budget.check(self.spent)
     }
 
     /// Writes explicit lane values into `dst` (used for twiddle/index
@@ -498,7 +571,7 @@ impl<S: TraceSink> VectorUnit<S> {
             ),
         );
         self.mem_words += values.len() as u64;
-        Ok(())
+        self.budget.check(self.spent)
     }
 
     /// Register-to-register permute: `dst[i] = src(idx[i])` where indices
@@ -536,7 +609,7 @@ impl<S: TraceSink> VectorUnit<S> {
         let visible = ((raw as f64) * self.cfg.int_visibility).ceil() as u64;
         self.charge(false, "shuffle", "vperm2", Cycles::new(visible));
         self.charge(false, "startup", "vector-startup", Cycles::new(self.cfg.vector_startup));
-        Ok(())
+        self.budget.check(self.spent)
     }
 
     /// Charges scalar-core cycles (loop control, address arithmetic).

@@ -1,0 +1,154 @@
+//! Fault-injection and watchdog integration tests.
+//!
+//! Three guarantees pin the robustness subsystem:
+//!
+//! 1. **Determinism** — a fault sweep is a pure function of its seed:
+//!    re-running the same sweep yields byte-identical tables, CSVs,
+//!    reports, and plans (property-tested over seeds).
+//! 2. **Zero-cost default** — running every engine through its faulted
+//!    entry point with [`NoFaults`] and an unlimited budget reproduces
+//!    the unfaulted cycle counts and breakdowns bit-for-bit, so the
+//!    instrumentation cannot perturb the paper's numbers.
+//! 3. **Bounded termination** — a deliberately tiny cycle budget makes
+//!    every machine × kernel run abort with
+//!    [`SimError::BudgetExceeded`] instead of running unboundedly.
+
+use proptest::prelude::*;
+use triarch_core::arch::Architecture;
+use triarch_core::faultsweep;
+use triarch_kernels::{Kernel, WorkloadSet};
+use triarch_simcore::faults::{FaultInjector, FaultPlan, NoFaults};
+use triarch_simcore::{CycleBudget, SimError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same seed, same sweep: rendered table, CSV, outcomes, reports,
+    /// and derived plans are all byte-identical.
+    #[test]
+    fn same_seed_sweeps_are_byte_identical(seed in any::<u64>()) {
+        let workloads = WorkloadSet::small(5).unwrap();
+        let a = faultsweep::sweep(&workloads, seed, 1).unwrap();
+        let b = faultsweep::sweep(&workloads, seed, 1).unwrap();
+        prop_assert_eq!(a.render(), b.render());
+        prop_assert_eq!(a.to_csv(), b.to_csv());
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            prop_assert_eq!(ra.outcome, rb.outcome);
+            prop_assert_eq!(ra.report, rb.report);
+            prop_assert_eq!(&ra.plan, &rb.plan);
+            prop_assert_eq!(&ra.abort, &rb.abort);
+        }
+    }
+
+    /// Fault effects are a pure function of the plan: two injectors
+    /// executing the same campaign against the same machine agree on the
+    /// tally even when runs end in a detected abort.
+    #[test]
+    fn campaign_runs_replay_exactly(seed in any::<u64>(), campaign in 0u64..16) {
+        let workloads = WorkloadSet::small(5).unwrap();
+        let a = faultsweep::campaign_run(
+            Architecture::Viram, Kernel::CornerTurn, &workloads, seed, campaign).unwrap();
+        let b = faultsweep::campaign_run(
+            Architecture::Viram, Kernel::CornerTurn, &workloads, seed, campaign).unwrap();
+        prop_assert_eq!(a.outcome, b.outcome);
+        prop_assert_eq!(a.report, b.report);
+    }
+}
+
+/// `NoFaults` + unlimited budget must be invisible: the faulted entry
+/// point reproduces the plain run's cycles and breakdown exactly on
+/// every machine × kernel pair.
+#[test]
+fn nofaults_reproduces_unfaulted_cycles_exactly() {
+    let workloads = WorkloadSet::small(42).unwrap();
+    for arch in Architecture::ALL {
+        for kernel in Kernel::ALL {
+            let plain = arch.machine().unwrap().run(kernel, &workloads).unwrap();
+            let mut machine = arch.machine().unwrap();
+            machine.set_cycle_budget(CycleBudget::UNLIMITED);
+            let faulted = machine.run_faulted(kernel, &workloads, &mut NoFaults).unwrap();
+            assert_eq!(
+                plain.cycles, faulted.cycles,
+                "{arch}/{kernel}: NoFaults changed the cycle count"
+            );
+            assert_eq!(
+                plain.breakdown.to_string(),
+                faulted.breakdown.to_string(),
+                "{arch}/{kernel}: NoFaults changed the breakdown"
+            );
+            assert_eq!(format!("{:?}", plain.verification), format!("{:?}", faulted.verification));
+        }
+    }
+}
+
+/// A quiet fault plan (ECC on, but a rate so low nothing fires on a
+/// small workload) must also leave the cycle counts untouched: the cost
+/// model charges only actual fault work.
+#[test]
+fn silent_injector_matches_unfaulted_cycles() {
+    let workloads = WorkloadSet::small(42).unwrap();
+    let plan = FaultPlan { mean_words_between_faults: u64::MAX / 4, ..FaultPlan::new(1) };
+    for arch in Architecture::ALL {
+        let plain = arch.machine().unwrap().run(Kernel::CornerTurn, &workloads).unwrap();
+        let mut injector = FaultInjector::new(plan.clone());
+        let faulted = arch
+            .machine()
+            .unwrap()
+            .run_faulted(Kernel::CornerTurn, &workloads, &mut injector)
+            .unwrap();
+        assert_eq!(injector.report().injected, 0, "{arch}: fault fired unexpectedly");
+        assert_eq!(plain.cycles, faulted.cycles, "{arch}");
+    }
+}
+
+/// The watchdog: a deliberately tiny budget terminates every machine ×
+/// kernel pair with `SimError::BudgetExceeded` — no run survives, hangs,
+/// or panics.
+#[test]
+fn tiny_budget_terminates_every_engine() {
+    let workloads = WorkloadSet::small(42).unwrap();
+    for arch in Architecture::ALL {
+        for kernel in Kernel::ALL {
+            let mut machine = arch.machine().unwrap();
+            machine.set_cycle_budget(CycleBudget::limited(10));
+            let result = machine.run_faulted(kernel, &workloads, &mut NoFaults);
+            match result {
+                Err(SimError::BudgetExceeded { spent, limit }) => {
+                    assert_eq!(limit, 10, "{arch}/{kernel}");
+                    assert!(spent > limit, "{arch}/{kernel}: spent {spent} <= limit {limit}");
+                }
+                other => panic!("{arch}/{kernel}: expected BudgetExceeded, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// An oversized workload under a realistic-but-insufficient budget also
+/// trips the watchdog: budgets bound wall-clock for paper-sized runs too.
+#[test]
+fn oversized_workload_trips_a_realistic_budget() {
+    let workloads = WorkloadSet::paper(42).unwrap();
+    let mut machine = Architecture::Viram.machine().unwrap();
+    machine.set_cycle_budget(CycleBudget::limited(1_000));
+    let err = machine
+        .run_faulted(Kernel::CornerTurn, &workloads, &mut NoFaults)
+        .expect_err("a 1024x1024 corner turn cannot fit in 1000 cycles");
+    assert!(err.is_detected_abort(), "{err:?}");
+    assert!(err.to_string().contains("budget"), "{err}");
+}
+
+/// Budgets also bound the *unfaulted* paths: `set_cycle_budget` applies
+/// to the plain `run` entry points, not just the faulted ones.
+#[test]
+fn budget_applies_to_plain_runs_too() {
+    let workloads = WorkloadSet::small(42).unwrap();
+    for arch in Architecture::ALL {
+        let mut machine = arch.machine().unwrap();
+        machine.set_cycle_budget(CycleBudget::limited(10));
+        let result = machine.run(Kernel::CornerTurn, &workloads);
+        assert!(
+            matches!(result, Err(SimError::BudgetExceeded { .. })),
+            "{arch}: plain run ignored the budget: {result:?}"
+        );
+    }
+}
