@@ -14,6 +14,10 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy triarch-pool (deny unwrap/expect) =="
+cargo clippy -p triarch-pool --all-targets -- -D warnings \
+  -D clippy::unwrap_used -D clippy::expect_used
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
@@ -29,9 +33,39 @@ if [ "$out1" != "$out2" ]; then
   exit 1
 fi
 
-echo "== repro rejects unknown selectors =="
+echo "== parallel byte-identity smoke (--jobs 1 vs --jobs 2) =="
+j1="$(cargo run --release -q -p triarch-bench --bin repro -- --jobs 1 table3 breakdowns 2>/dev/null)"
+j2="$(cargo run --release -q -p triarch-bench --bin repro -- --jobs 2 table3 breakdowns 2>/dev/null)"
+if [ "$j1" != "$j2" ]; then
+  echo "table3/breakdowns output differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+fi
+f1="$(cargo run --release -q -p triarch-bench --bin repro -- --jobs 1 faultsweep --small --campaigns 2 2>/dev/null)"
+f2="$(cargo run --release -q -p triarch-bench --bin repro -- --jobs 2 faultsweep --small --campaigns 2 2>/dev/null)"
+if [ "$f1" != "$f2" ]; then
+  echo "faultsweep output differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+fi
+
+echo "== dse smoke (small workloads, 2 workers) =="
+dse_out="$(cargo run --release -q -p triarch-bench --bin repro -- dse --small --jobs 2 2>/dev/null)"
+echo "$dse_out" | grep -q "Design-space exploration" || {
+  echo "dse smoke produced no report" >&2
+  exit 1
+}
+if echo "$dse_out" | grep -q "\[FAIL\]"; then
+  echo "dse smoke reported a failing finding" >&2
+  echo "$dse_out" >&2
+  exit 1
+fi
+
+echo "== repro rejects unknown selectors and bad --jobs =="
 if cargo run --release -q -p triarch-bench --bin repro -- no-such-exhibit 2>/dev/null; then
   echo "repro accepted an unknown selector" >&2
+  exit 1
+fi
+if cargo run --release -q -p triarch-bench --bin repro -- --jobs 0 table1 2>/dev/null; then
+  echo "repro accepted --jobs 0" >&2
   exit 1
 fi
 

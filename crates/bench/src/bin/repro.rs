@@ -20,6 +20,19 @@
 //! seed. `--small` substitutes the reduced workload set for quick smoke
 //! runs.
 //!
+//! `dse [--small]` sweeps microarchitectural parameters around the
+//! paper's design points (VIRAM lanes × address generators, Imagine
+//! clusters × memory width, Raw mesh size, PPC L2 capacity), prints the
+//! per-architecture sensitivity tables, and checks the §4.2–§4.4
+//! attribution claims mechanistically.
+//!
+//! The global `--jobs N` flag (or the `TRIARCH_JOBS` environment
+//! variable) fans the heavy drivers out over a deterministic
+//! work-stealing pool; stdout is byte-identical at any worker count
+//! because results are always assembled in submission order. `--jobs 1`
+//! bypasses the pool entirely. The default is the machine's available
+//! parallelism; pool throughput reports go to stderr.
+//!
 //! Unknown selectors or malformed flags exit with status 2 and a
 //! one-line diagnostic; simulation errors exit with status 1.
 
@@ -29,7 +42,7 @@ use std::path::Path;
 use std::process;
 
 use triarch_core::arch::Architecture;
-use triarch_core::{ablations, experiments, faultsweep};
+use triarch_core::{ablations, dse, experiments, faultsweep};
 use triarch_kernels::Kernel;
 use triarch_simcore::trace::{export, AggregateSink, RingSink, TeeSink};
 
@@ -37,7 +50,7 @@ use triarch_simcore::trace::{export, AggregateSink, RingSink, TeeSink};
 const RING_CAPACITY: usize = 1 << 18;
 
 /// Every selector the CLI accepts (flags are parsed separately).
-const SELECTORS: [&str; 12] = [
+const SELECTORS: [&str; 13] = [
     "table1",
     "table2",
     "table3",
@@ -50,6 +63,7 @@ const SELECTORS: [&str; 12] = [
     "ablations",
     "trace",
     "faultsweep",
+    "dse",
 ];
 
 /// Parsed command line.
@@ -62,8 +76,12 @@ struct Options {
     seed: u64,
     /// Fault-sweep campaigns per machine × kernel pair (`--campaigns`).
     campaigns: u64,
-    /// Use the reduced workload set for the fault sweep (`--small`).
+    /// Use the reduced workload set for the fault sweep and DSE
+    /// (`--small`).
     small: bool,
+    /// Pool workers (`--jobs`); resolved from `TRIARCH_JOBS` or the
+    /// machine's available parallelism when absent.
+    jobs: usize,
 }
 
 impl Options {
@@ -76,11 +94,17 @@ impl Options {
             seed: triarch_bench::SEED,
             campaigns: 8,
             small: false,
+            jobs: triarch_pool::jobs_from_env()?,
         };
         let mut i = 0;
         while i < args.len() {
             let arg = args[i].as_str();
             match arg {
+                "--jobs" => {
+                    let value = args.get(i + 1).ok_or_else(|| format!("{arg} requires a value"))?;
+                    opts.jobs = triarch_pool::parse_jobs(value)?;
+                    i += 2;
+                }
                 "--seed" | "--campaigns" => {
                     let value = args.get(i + 1).ok_or_else(|| format!("{arg} requires a value"))?;
                     let parsed: u64 = value.parse().map_err(|_| {
@@ -130,7 +154,10 @@ impl Options {
     /// that participate in the run-everything default) no selector given.
     fn want(&self, name: &str) -> bool {
         self.explicit(name)
-            || (self.selectors.is_empty() && name != "trace" && name != "faultsweep")
+            || (self.selectors.is_empty()
+                && name != "trace"
+                && name != "faultsweep"
+                && name != "dse")
     }
 
     /// Whether `name` was explicitly selected on the command line.
@@ -197,9 +224,32 @@ fn run_faultsweep(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         opts.campaigns,
         if opts.small { "small" } else { "paper" },
     );
-    let table = faultsweep::sweep(&workloads, opts.seed, opts.campaigns)?;
+    let (table, stats) = faultsweep::sweep_jobs(&workloads, opts.seed, opts.campaigns, opts.jobs)?;
+    eprintln!("{}", stats.render());
     println!("== Fault-injection sweep ==");
     println!("{}", table.render());
+    Ok(())
+}
+
+/// Runs the design-space sweep and prints sensitivity tables + findings.
+fn run_dse(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let workloads = if opts.small {
+        triarch_bench::small_workloads()
+    } else {
+        triarch_bench::paper_workloads()
+    };
+    eprintln!(
+        "running design-space sweep: {} design points x {} kernels, {} workloads ...",
+        dse::points().len(),
+        Kernel::ALL.len(),
+        if opts.small { "small" } else { "paper" },
+    );
+    let (report, stats) = dse::sweep(&workloads, opts.jobs)?;
+    eprintln!("{}", stats.render());
+    println!("== Design-space exploration ==");
+    println!("{}", report.render());
+    println!("== Section 4 attribution findings ==");
+    println!("{}", report.render_findings());
     Ok(())
 }
 
@@ -225,6 +275,11 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         run_faultsweep(opts)?;
     }
 
+    // `dse` likewise: a design-space study around the paper's points.
+    if opts.explicit("dse") {
+        run_dse(opts)?;
+    }
+
     let needs_runs =
         ["table3", "table4", "figure8", "figure9", "breakdowns", "altivec", "claims", "ablations"]
             .iter()
@@ -235,7 +290,8 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 
     eprintln!("running all machines on paper-sized workloads ...");
     let workloads = triarch_bench::paper_workloads();
-    let table3 = experiments::table3(&workloads)?;
+    let (table3, stats) = experiments::table3_jobs(&workloads, opts.jobs)?;
+    eprintln!("{}", stats.render());
 
     if opts.want("table3") {
         println!("== Table 3: experimental results (kilocycles) ==");
@@ -277,7 +333,9 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
     if opts.want("ablations") {
         println!("== Ablations ==");
-        println!("{}", ablations::render_all(&workloads)?);
+        let (report, stats) = ablations::render_all_jobs(&workloads, opts.jobs)?;
+        eprintln!("{}", stats.render());
+        println!("{report}");
     }
     Ok(())
 }
@@ -289,8 +347,8 @@ fn main() {
         Err(msg) => {
             eprintln!("repro: {msg}");
             eprintln!(
-                "usage: repro [selector ...] [trace [dir]] \
-                 [faultsweep [--seed S] [--campaigns N] [--small]]"
+                "usage: repro [--jobs N] [selector ...] [trace [dir]] \
+                 [faultsweep [--seed S] [--campaigns N] [--small]] [dse [--small]]"
             );
             process::exit(2);
         }

@@ -15,6 +15,7 @@ use triarch_ppc::{PpcConfig, PpcMachine};
 use triarch_simcore::{Cycles, KernelRun, SimError, Verification};
 
 use crate::arch::Architecture;
+use crate::parallel::{run_jobs, PoolStats};
 use crate::report::TextTable;
 
 /// Runs a *tiled* corner turn on the scalar G4 model and returns
@@ -114,65 +115,119 @@ pub fn dwell_sweep(
     Ok(t)
 }
 
+/// The independent studies composing [`render_all`], in report order.
+///
+/// Each task renders a self-contained fragment of the ablation report,
+/// so the batch drivers can run them as pool jobs and concatenate the
+/// fragments in this fixed order — byte-identical to the serial report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AblationTask {
+    /// Naive vs 8×8 tiled corner turn on the scalar G4.
+    TiledCornerTurn,
+    /// Raw CSLC: cache-mode vs stream-interface FFT (measured).
+    RawStreamCslc,
+    /// Imagine beam steering: DRAM vs SRF-resident tables (measured).
+    ImagineSrfTables,
+    /// Beam-steering dwell-count sweep on the research machines.
+    DwellSweep,
+}
+
+impl AblationTask {
+    /// Every task in report order.
+    const ALL: [AblationTask; 4] = [
+        AblationTask::TiledCornerTurn,
+        AblationTask::RawStreamCslc,
+        AblationTask::ImagineSrfTables,
+        AblationTask::DwellSweep,
+    ];
+
+    /// Renders this task's report fragment.
+    fn fragment(self, workloads: &WorkloadSet) -> Result<String, SimError> {
+        match self {
+            AblationTask::TiledCornerTurn => {
+                let (naive, blocked) = ppc_blocked_corner_turn(&workloads.corner_turn, 8)?;
+                Ok(format!(
+                    "PPC corner turn, naive vs 8x8 tiled: {naive} -> {blocked} cycles ({:.1}x)\n",
+                    naive.ratio(blocked)
+                ))
+            }
+            AblationTask::RawStreamCslc => {
+                let raw_cfg = triarch_raw::RawConfig::paper();
+                let cache = triarch_raw::programs::cslc::run_with_mode(
+                    &raw_cfg,
+                    &workloads.cslc,
+                    triarch_raw::programs::cslc::CslcMode::CacheMimd,
+                )?;
+                let stream = triarch_raw::programs::cslc::run_with_mode(
+                    &raw_cfg,
+                    &workloads.cslc,
+                    triarch_raw::programs::cslc::CslcMode::StreamInterface,
+                )?;
+                Ok(format!(
+                    "Raw CSLC, cache-mode vs stream-interface (measured): {} -> {} cycles ({:.0}% faster; paper projects ~70% FFT gain)\n",
+                    cache.cycles,
+                    stream.cycles,
+                    100.0 * (cache.cycles.get() as f64 / stream.cycles.get() as f64 - 1.0)
+                ))
+            }
+            AblationTask::ImagineSrfTables => {
+                let cfg = triarch_imagine::ImagineConfig::paper();
+                let dram = triarch_imagine::programs::beam_steering::run_with_table_placement(
+                    &cfg,
+                    &workloads.beam_steering,
+                    triarch_imagine::programs::beam_steering::TablePlacement::Dram,
+                )?;
+                let srf = triarch_imagine::programs::beam_steering::run_with_table_placement(
+                    &cfg,
+                    &workloads.beam_steering,
+                    triarch_imagine::programs::beam_steering::TablePlacement::SrfResident,
+                )?;
+                Ok(format!(
+                    "Imagine beam steering, DRAM tables vs SRF-resident (measured): {} -> {} cycles ({:.1}x; paper projects ~2x)\n",
+                    dram.cycles,
+                    srf.cycles,
+                    dram.cycles.ratio(srf.cycles)
+                ))
+            }
+            AblationTask::DwellSweep => {
+                let sweep = dwell_sweep(
+                    workloads.beam_steering.elements().min(256),
+                    workloads.beam_steering.directions(),
+                    &[1, 2, 4, 8],
+                    7,
+                )?;
+                Ok(format!("\nBeam-steering dwell sweep (cycles):\n{sweep}"))
+            }
+        }
+    }
+}
+
 /// Renders every ablation for the given workload set.
+///
+/// Serial convenience wrapper over [`render_all_jobs`] with one worker.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn render_all(workloads: &WorkloadSet) -> Result<String, SimError> {
-    let mut out = String::new();
+    render_all_jobs(workloads, 1).map(|(report, _)| report)
+}
 
-    let (naive, blocked) = ppc_blocked_corner_turn(&workloads.corner_turn, 8)?;
-    out.push_str(&format!(
-        "PPC corner turn, naive vs 8x8 tiled: {naive} -> {blocked} cycles ({:.1}x)\n",
-        naive.ratio(blocked)
-    ));
-
-    let raw_cfg = triarch_raw::RawConfig::paper();
-    let cache = triarch_raw::programs::cslc::run_with_mode(
-        &raw_cfg,
-        &workloads.cslc,
-        triarch_raw::programs::cslc::CslcMode::CacheMimd,
-    )?;
-    let stream = triarch_raw::programs::cslc::run_with_mode(
-        &raw_cfg,
-        &workloads.cslc,
-        triarch_raw::programs::cslc::CslcMode::StreamInterface,
-    )?;
-    out.push_str(&format!(
-        "Raw CSLC, cache-mode vs stream-interface (measured): {} -> {} cycles ({:.0}% faster; paper projects ~70% FFT gain)\n",
-        cache.cycles,
-        stream.cycles,
-        100.0 * (cache.cycles.get() as f64 / stream.cycles.get() as f64 - 1.0)
-    ));
-
-    let cfg = triarch_imagine::ImagineConfig::paper();
-    let dram = triarch_imagine::programs::beam_steering::run_with_table_placement(
-        &cfg,
-        &workloads.beam_steering,
-        triarch_imagine::programs::beam_steering::TablePlacement::Dram,
-    )?;
-    let srf = triarch_imagine::programs::beam_steering::run_with_table_placement(
-        &cfg,
-        &workloads.beam_steering,
-        triarch_imagine::programs::beam_steering::TablePlacement::SrfResident,
-    )?;
-    out.push_str(&format!(
-        "Imagine beam steering, DRAM tables vs SRF-resident (measured): {} -> {} cycles ({:.1}x; paper projects ~2x)\n",
-        dram.cycles,
-        srf.cycles,
-        dram.cycles.ratio(srf.cycles)
-    ));
-
-    let sweep = dwell_sweep(
-        workloads.beam_steering.elements().min(256),
-        workloads.beam_steering.directions(),
-        &[1, 2, 4, 8],
-        7,
-    )?;
-    out.push_str("\nBeam-steering dwell sweep (cycles):\n");
-    out.push_str(&sweep.to_string());
-    Ok(out)
+/// Renders the ablation report with the independent studies fanned out
+/// over `jobs` pool workers; fragments are concatenated in fixed report
+/// order, so the output is byte-identical at any worker count.
+///
+/// # Errors
+///
+/// Propagates the first simulator error in report order, or
+/// [`SimError::JobPanicked`] if a study panicked.
+pub fn render_all_jobs(
+    workloads: &WorkloadSet,
+    jobs: usize,
+) -> Result<(String, PoolStats), SimError> {
+    let (fragments, stats) =
+        run_jobs(jobs, AblationTask::ALL.to_vec(), |task| task.fragment(workloads))?;
+    Ok((fragments.concat(), stats))
 }
 
 #[cfg(test)]
@@ -216,5 +271,14 @@ mod tests {
     fn dwell_sweep_scales_linearly() {
         let t = dwell_sweep(128, 2, &[1, 2, 4], 3).unwrap();
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_serial() {
+        let workloads = WorkloadSet::small(5).unwrap();
+        let serial = render_all(&workloads).unwrap();
+        let (parallel, stats) = render_all_jobs(&workloads, 4).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(stats.jobs, AblationTask::ALL.len());
     }
 }

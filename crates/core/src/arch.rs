@@ -1,13 +1,29 @@
-//! The study's machine registry.
+//! The study's machine registry and the shared cell-dispatch helpers.
+//!
+//! Every driver in this crate — [`crate::experiments`] (Table 3 cells),
+//! [`crate::faultsweep`] (campaign grids), [`crate::tracecheck`]
+//! (breakdown validation), and [`crate::dse`] (design-space sweeps) —
+//! runs the same shape of job: *build a machine, run one kernel on it,
+//! hand back the result*. The [`MachineSpec`] type and its `run_cell*`
+//! methods are the single source of truth for that dispatch, so the
+//! four drivers construct pool jobs the same way instead of each
+//! repeating the architecture match.
+//!
+//! All machines here are **`Send`-clean**: engines are plain data
+//! (configuration plus identity; run state is rebuilt inside each
+//! program), so a job closure can own its machine and run on any pool
+//! worker. That property is asserted at compile time below.
 
 use std::fmt;
 
-use triarch_imagine::Imagine;
-use triarch_kernels::SignalMachine;
-use triarch_ppc::Ppc;
-use triarch_raw::Raw;
-use triarch_simcore::SimError;
-use triarch_viram::Viram;
+use triarch_imagine::{Imagine, ImagineConfig};
+use triarch_kernels::{Kernel, SignalMachine, WorkloadSet};
+use triarch_ppc::{Ppc, PpcConfig, Variant};
+use triarch_raw::{Raw, RawConfig};
+use triarch_simcore::faults::FaultHook;
+use triarch_simcore::trace::{AggregateSink, TraceBreakdown};
+use triarch_simcore::{KernelRun, SimError};
+use triarch_viram::{Viram, ViramConfig};
 
 /// The five machines of the study, in the paper's row order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,18 +68,14 @@ impl Architecture {
 
     /// Instantiates the machine with its paper configuration.
     ///
+    /// The box is [`Send`] so the machine can move into a pool job.
+    ///
     /// # Errors
     ///
     /// Never fails for the built-in configurations; the `Result` mirrors
     /// the machines' fallible constructors.
-    pub fn machine(self) -> Result<Box<dyn SignalMachine>, SimError> {
-        Ok(match self {
-            Architecture::Ppc => Box::new(Ppc::scalar()?),
-            Architecture::Altivec => Box::new(Ppc::altivec()?),
-            Architecture::Viram => Box::new(Viram::new()?),
-            Architecture::Imagine => Box::new(Imagine::new()?),
-            Architecture::Raw => Box::new(Raw::new()?),
-        })
+    pub fn machine(self) -> Result<Box<dyn SignalMachine + Send>, SimError> {
+        MachineSpec::Paper(self).build()
     }
 }
 
@@ -72,6 +84,131 @@ impl fmt::Display for Architecture {
         f.write_str(self.name())
     }
 }
+
+/// Every (machine, kernel) cell of the study, in paper order — the job
+/// grid the batch drivers fan out over.
+#[must_use]
+pub fn grid() -> Vec<(Architecture, Kernel)> {
+    let mut cells = Vec::with_capacity(Architecture::ALL.len() * Kernel::ALL.len());
+    for arch in Architecture::ALL {
+        for kernel in Kernel::ALL {
+            cells.push((arch, kernel));
+        }
+    }
+    cells
+}
+
+/// A buildable machine description: either a paper row or an explicit
+/// swept configuration.
+///
+/// This is the shared job constructor: all four batch drivers turn a
+/// `MachineSpec` plus a [`Kernel`] into a pool job via
+/// [`MachineSpec::run_cell`] (or its traced/faulted variants), so the
+/// per-architecture dispatch lives in exactly one place.
+#[derive(Debug, Clone)]
+pub enum MachineSpec {
+    /// A study row with its published configuration.
+    Paper(Architecture),
+    /// VIRAM with an explicit (possibly swept) configuration.
+    Viram(ViramConfig),
+    /// Imagine with an explicit configuration.
+    Imagine(ImagineConfig),
+    /// Raw with an explicit configuration.
+    Raw(RawConfig),
+    /// The G4 baseline with an explicit configuration and code path.
+    Ppc(PpcConfig, Variant),
+}
+
+impl MachineSpec {
+    /// The architecture row this spec instantiates.
+    #[must_use]
+    pub fn arch(&self) -> Architecture {
+        match self {
+            MachineSpec::Paper(arch) => *arch,
+            MachineSpec::Viram(_) => Architecture::Viram,
+            MachineSpec::Imagine(_) => Architecture::Imagine,
+            MachineSpec::Raw(_) => Architecture::Raw,
+            MachineSpec::Ppc(_, Variant::Scalar) => Architecture::Ppc,
+            MachineSpec::Ppc(_, Variant::Altivec) => Architecture::Altivec,
+        }
+    }
+
+    /// Builds the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for degenerate swept
+    /// configurations; never fails for [`MachineSpec::Paper`].
+    pub fn build(&self) -> Result<Box<dyn SignalMachine + Send>, SimError> {
+        Ok(match self {
+            MachineSpec::Paper(Architecture::Ppc) => Box::new(Ppc::scalar()?),
+            MachineSpec::Paper(Architecture::Altivec) => Box::new(Ppc::altivec()?),
+            MachineSpec::Paper(Architecture::Viram) => Box::new(Viram::new()?),
+            MachineSpec::Paper(Architecture::Imagine) => Box::new(Imagine::new()?),
+            MachineSpec::Paper(Architecture::Raw) => Box::new(Raw::new()?),
+            MachineSpec::Viram(cfg) => Box::new(Viram::with_config(cfg.clone())?),
+            MachineSpec::Imagine(cfg) => Box::new(Imagine::with_config(cfg.clone())?),
+            MachineSpec::Raw(cfg) => Box::new(Raw::with_config(cfg.clone())?),
+            MachineSpec::Ppc(cfg, variant) => Box::new(Ppc::with_config(cfg.clone(), *variant)?),
+        })
+    }
+
+    /// Builds a fresh machine and runs one kernel — the pool-job body
+    /// shared by every batch driver. Building per cell (rather than
+    /// reusing one machine across kernels) is byte-identical because
+    /// engines rebuild all run state from their configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction and simulation errors.
+    pub fn run_cell(&self, kernel: Kernel, workloads: &WorkloadSet) -> Result<KernelRun, SimError> {
+        self.build()?.run(kernel, workloads)
+    }
+
+    /// [`Self::run_cell`] with an [`AggregateSink`] attached, returning
+    /// the trace-derived per-category totals alongside the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction and simulation errors.
+    pub fn run_cell_traced(
+        &self,
+        kernel: Kernel,
+        workloads: &WorkloadSet,
+    ) -> Result<(KernelRun, TraceBreakdown), SimError> {
+        let mut machine = self.build()?;
+        let mut sink = AggregateSink::new();
+        let run = machine.run_traced(kernel, workloads, &mut sink)?;
+        Ok((run, sink.into_breakdown()))
+    }
+
+    /// [`Self::run_cell`] under a fault hook.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors, detected faults, and watchdog
+    /// trips exactly as the engine reports them.
+    pub fn run_cell_faulted(
+        &self,
+        kernel: Kernel,
+        workloads: &WorkloadSet,
+        faults: &mut dyn FaultHook,
+    ) -> Result<KernelRun, SimError> {
+        self.build()?.run_faulted(kernel, workloads, faults)
+    }
+}
+
+// Compile-time proof that every engine — and the boxed trait object the
+// registry hands out — can move into a pool job.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Viram>();
+    assert_send::<Imagine>();
+    assert_send::<Raw>();
+    assert_send::<Ppc>();
+    assert_send::<MachineSpec>();
+    assert_send::<Box<dyn SignalMachine + Send>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -97,5 +234,68 @@ mod tests {
         assert_eq!(names, vec!["PPC", "Altivec", "VIRAM", "Imagine", "Raw"]);
         assert_eq!(Architecture::RESEARCH.len(), 3);
         assert_eq!(Architecture::Viram.to_string(), "VIRAM");
+    }
+
+    #[test]
+    fn grid_covers_every_cell_in_paper_order() {
+        let cells = grid();
+        assert_eq!(cells.len(), Architecture::ALL.len() * Kernel::ALL.len());
+        assert_eq!(cells[0], (Architecture::Ppc, Kernel::ALL[0]));
+        let mut expected = Vec::new();
+        for arch in Architecture::ALL {
+            for kernel in Kernel::ALL {
+                expected.push((arch, kernel));
+            }
+        }
+        assert_eq!(cells, expected);
+    }
+
+    #[test]
+    fn spec_arch_round_trips_paper_rows() {
+        for arch in Architecture::ALL {
+            let spec = MachineSpec::Paper(arch);
+            assert_eq!(spec.arch(), arch);
+            assert_eq!(spec.build().unwrap().info().name, arch.machine().unwrap().info().name);
+        }
+        assert_eq!(MachineSpec::Viram(ViramConfig::paper()).arch(), Architecture::Viram);
+        assert_eq!(MachineSpec::Imagine(ImagineConfig::paper()).arch(), Architecture::Imagine);
+        assert_eq!(MachineSpec::Raw(RawConfig::paper()).arch(), Architecture::Raw);
+        assert_eq!(MachineSpec::Ppc(PpcConfig::paper(), Variant::Scalar).arch(), Architecture::Ppc);
+        assert_eq!(
+            MachineSpec::Ppc(PpcConfig::paper(), Variant::Altivec).arch(),
+            Architecture::Altivec
+        );
+    }
+
+    #[test]
+    fn explicit_paper_specs_match_registry_cells() {
+        let workloads = WorkloadSet::small(42).unwrap();
+        for (arch, kernel) in grid() {
+            let via_spec = MachineSpec::Paper(arch).run_cell(kernel, &workloads).unwrap();
+            let mut machine = arch.machine().unwrap();
+            let via_registry = machine.run(kernel, &workloads).unwrap();
+            assert_eq!(via_spec.cycles, via_registry.cycles, "{arch}/{kernel}");
+            assert_eq!(
+                via_spec.breakdown.to_string(),
+                via_registry.breakdown.to_string(),
+                "{arch}/{kernel}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_cell_agrees_with_breakdown() {
+        let workloads = WorkloadSet::small(42).unwrap();
+        let (run, trace) = MachineSpec::Paper(Architecture::Raw)
+            .run_cell_traced(Kernel::CornerTurn, &workloads)
+            .unwrap();
+        assert_eq!(run.cycles.get(), trace.total());
+    }
+
+    #[test]
+    fn degenerate_swept_config_is_a_typed_error() {
+        let mut cfg = RawConfig::paper();
+        cfg.mesh_width = 0;
+        assert!(MachineSpec::Raw(cfg).build().is_err());
     }
 }

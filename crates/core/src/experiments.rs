@@ -3,8 +3,9 @@
 use triarch_kernels::{Kernel, WorkloadSet};
 use triarch_simcore::{Cycles, KernelDemands, KernelRun, SimError};
 
-use crate::arch::Architecture;
+use crate::arch::{grid, Architecture, MachineSpec};
 use crate::paper;
+use crate::parallel::{run_jobs, PoolStats};
 use crate::report::{fmt_kilocycles, fmt_speedup, TextTable};
 
 /// Table 1 — peak throughput in 32-bit words per cycle for the three
@@ -144,20 +145,33 @@ impl Table3 {
 
 /// Runs every machine on every kernel — the paper's Table 3.
 ///
+/// Serial convenience wrapper over [`table3_jobs`] with one worker.
+///
 /// # Errors
 ///
 /// Propagates any simulator error (none occur for paper-sized or `small`
 /// workload sets).
 pub fn table3(workloads: &WorkloadSet) -> Result<Table3, SimError> {
-    let mut runs = Vec::with_capacity(Architecture::ALL.len() * Kernel::ALL.len());
-    for arch in Architecture::ALL {
-        let mut machine = arch.machine()?;
-        for kernel in Kernel::ALL {
-            let run = machine.run(kernel, workloads)?;
-            runs.push(((arch, kernel), run));
-        }
-    }
-    Ok(Table3 { runs })
+    table3_jobs(workloads, 1).map(|(table, _)| table)
+}
+
+/// Runs the Table 3 grid on `jobs` pool workers.
+///
+/// Each cell is an independent job that builds its machine fresh via
+/// [`MachineSpec::run_cell`]; because engines rebuild all run state from
+/// their configuration, the resulting table is byte-identical to the
+/// serial run at any worker count (results come back in submission
+/// order).
+///
+/// # Errors
+///
+/// Propagates the first simulator error in cell order, or
+/// [`SimError::JobPanicked`] if a cell panicked.
+pub fn table3_jobs(workloads: &WorkloadSet, jobs: usize) -> Result<(Table3, PoolStats), SimError> {
+    let (runs, stats) = run_jobs(jobs, grid(), |(arch, kernel)| {
+        MachineSpec::Paper(arch).run_cell(kernel, workloads).map(|run| ((arch, kernel), run))
+    })?;
+    Ok((Table3 { runs }, stats))
 }
 
 /// Table 4 — the Section 2.5 performance model's predicted lower bounds
@@ -346,6 +360,17 @@ mod tests {
         assert!(!t3.render().is_empty());
         assert!(t3.render_vs_paper().contains("ratio"));
         assert!(t3.render_breakdowns().contains("VIRAM"));
+    }
+
+    #[test]
+    fn table3_is_byte_identical_across_worker_counts() {
+        let workloads = WorkloadSet::small(1).unwrap();
+        let serial = table3(&workloads).unwrap();
+        let (parallel, stats) = table3_jobs(&workloads, 4).unwrap();
+        assert_eq!(serial.render(), parallel.render());
+        assert_eq!(serial.render_vs_paper(), parallel.render_vs_paper());
+        assert_eq!(serial.render_breakdowns(), parallel.render_breakdowns());
+        assert_eq!(stats.jobs, Architecture::ALL.len() * Kernel::ALL.len());
     }
 
     #[test]

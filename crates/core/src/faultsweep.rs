@@ -21,23 +21,13 @@
 
 use std::fmt;
 
-use triarch_kernels::verify::CSLC_TOLERANCE;
+use triarch_kernels::verify::tolerance;
 use triarch_kernels::{Kernel, WorkloadSet};
 use triarch_simcore::faults::{FaultInjector, FaultOutcome, FaultPlan, FaultReport};
 use triarch_simcore::SimError;
 
-use crate::arch::Architecture;
-
-/// Verification tolerance used when classifying a kernel's output.
-#[must_use]
-fn tolerance(kernel: Kernel) -> f32 {
-    match kernel {
-        // Corner turn and beam steering are integer kernels: bit-exact.
-        Kernel::CornerTurn | Kernel::BeamSteering => 0.0,
-        // CSLC is floating point; use the study-wide tolerance.
-        Kernel::Cslc => CSLC_TOLERANCE,
-    }
-}
+use crate::arch::{Architecture, MachineSpec};
+use crate::parallel::{run_jobs, PoolStats};
 
 /// One architecture × kernel × campaign run, classified.
 #[derive(Debug, Clone)]
@@ -202,8 +192,7 @@ pub fn campaign_run(
 ) -> Result<CampaignRun, SimError> {
     let plan = FaultPlan::campaign(seed, campaign);
     let mut injector = FaultInjector::new(plan.clone());
-    let mut machine = arch.machine()?;
-    let result = machine.run_faulted(kernel, workloads, &mut injector);
+    let result = MachineSpec::Paper(arch).run_cell_faulted(kernel, workloads, &mut injector);
     if let Err(e) = &result {
         if !e.is_detected_abort() {
             // A shape/config error is a sweep bug, not a fault outcome.
@@ -219,20 +208,45 @@ pub fn campaign_run(
 /// Runs the full sweep: every architecture × kernel pair under
 /// `campaigns` derived fault environments.
 ///
+/// Serial convenience wrapper over [`sweep_jobs`] with one worker.
+///
 /// # Errors
 ///
 /// Propagates the first non-fault [`SimError`] from any run.
 pub fn sweep(workloads: &WorkloadSet, seed: u64, campaigns: u64) -> Result<SweepTable, SimError> {
-    let mut runs =
+    sweep_jobs(workloads, seed, campaigns, 1).map(|(table, _)| table)
+}
+
+/// Runs the campaign × cell grid on `jobs` pool workers.
+///
+/// Every (architecture, kernel, campaign) triple is an independent job:
+/// the plan is pure data derived from `(seed, campaign)` and the
+/// injector's decisions come only from that plan's seeded stream, so the
+/// table is byte-identical to the serial sweep at any worker count.
+///
+/// # Errors
+///
+/// Propagates the first non-fault [`SimError`] in grid order, or
+/// [`SimError::JobPanicked`] if a run panicked.
+pub fn sweep_jobs(
+    workloads: &WorkloadSet,
+    seed: u64,
+    campaigns: u64,
+    jobs: usize,
+) -> Result<(SweepTable, PoolStats), SimError> {
+    let mut cells =
         Vec::with_capacity(Architecture::ALL.len() * Kernel::ALL.len() * campaigns as usize);
     for arch in Architecture::ALL {
         for kernel in Kernel::ALL {
             for campaign in 0..campaigns {
-                runs.push(campaign_run(arch, kernel, workloads, seed, campaign)?);
+                cells.push((arch, kernel, campaign));
             }
         }
     }
-    Ok(SweepTable { seed, campaigns, runs })
+    let (runs, stats) = run_jobs(jobs, cells, |(arch, kernel, campaign)| {
+        campaign_run(arch, kernel, workloads, seed, campaign)
+    })?;
+    Ok((SweepTable { seed, campaigns, runs }, stats))
 }
 
 #[cfg(test)]
@@ -267,6 +281,16 @@ mod tests {
             let sum: f64 = FaultOutcome::ALL.iter().map(|&o| table.rate(arch, o)).sum();
             assert!((sum - 1.0).abs() < 1e-9, "{arch}: {sum}");
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let workloads = WorkloadSet::small(42).unwrap();
+        let serial = sweep(&workloads, 11, 3).unwrap();
+        let (parallel, stats) = sweep_jobs(&workloads, 11, 3, 4).unwrap();
+        assert_eq!(serial.render(), parallel.render());
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(stats.jobs, serial.runs.len());
     }
 
     #[test]

@@ -39,9 +39,11 @@ pub mod ablations;
 pub mod arch;
 pub mod chart;
 pub mod claims;
+pub mod dse;
 pub mod experiments;
 pub mod faultsweep;
 pub mod paper;
+pub mod parallel;
 pub mod report;
 pub mod tracecheck;
 

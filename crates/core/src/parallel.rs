@@ -1,0 +1,86 @@
+//! Pool plumbing shared by the batch drivers.
+//!
+//! Every heavy driver in this crate fans a grid of independent cells out
+//! over [`triarch_pool::par_map_stats`] through this one helper, which
+//! owns the two conversions the drivers would otherwise each repeat:
+//!
+//! * a contained job panic ([`PoolError::JobPanicked`]) becomes the
+//!   typed [`SimError::JobPanicked`], and
+//! * the first per-job `Err(SimError)` (in submission order) is
+//!   propagated, matching what the old serial loops reported.
+//!
+//! Because [`triarch_pool::par_map_stats`] returns results in submission
+//! order, a driver that assembles its report from the returned `Vec` is
+//! byte-identical at any worker count.
+
+pub use triarch_pool::{available_workers, PoolStats};
+use triarch_pool::{par_map_stats, PoolError};
+use triarch_simcore::SimError;
+
+/// Runs one fallible job per item on `jobs` workers, returning results
+/// in submission order plus the pool's throughput stats.
+///
+/// `jobs <= 1` bypasses the pool entirely (the pool's serial inline
+/// path), so `--jobs 1` runs exactly like the pre-pool drivers.
+///
+/// # Errors
+///
+/// Returns [`SimError::JobPanicked`] if a job panicked, otherwise the
+/// first job error in submission order.
+pub fn run_jobs<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Result<(Vec<R>, PoolStats), SimError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Result<R, SimError> + Sync,
+{
+    let (results, stats) = par_map_stats(jobs, items, f);
+    let results = results.map_err(|e| match e {
+        PoolError::JobPanicked { index, message } => SimError::job_panicked(index, message),
+    })?;
+    let mut out = Vec::with_capacity(results.len());
+    for result in results {
+        out.push(result?);
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let (out, stats) = run_jobs(4, (0..20u64).collect(), |i| Ok(i * 2)).unwrap();
+        assert_eq!(out, (0..20u64).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(stats.jobs, 20);
+    }
+
+    #[test]
+    fn first_job_error_in_submission_order_wins() {
+        let err = run_jobs(4, (0..20u64).collect(), |i| {
+            if i >= 5 {
+                Err(SimError::unsupported(format!("job {i}")))
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, SimError::unsupported("job 5"));
+    }
+
+    #[test]
+    fn job_panic_becomes_typed_sim_error() {
+        let err = run_jobs(2, (0..8u64).collect(), |i| {
+            assert!(i != 3, "kaboom");
+            Ok(i)
+        })
+        .unwrap_err();
+        match err {
+            SimError::JobPanicked { job, what } => {
+                assert_eq!(job, 3);
+                assert!(what.contains("kaboom"), "{what}");
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+    }
+}

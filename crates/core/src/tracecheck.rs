@@ -13,14 +13,16 @@
 //! constants.
 //!
 //! [`CycleBreakdown`]: triarch_simcore::CycleBreakdown
+//! [`AggregateSink`]: triarch_simcore::trace::AggregateSink
 
 use std::fmt;
 
 use triarch_kernels::{Kernel, WorkloadSet};
-use triarch_simcore::trace::{AggregateSink, TraceBreakdown};
+use triarch_simcore::trace::TraceBreakdown;
 use triarch_simcore::{KernelRun, SimError};
 
-use crate::arch::Architecture;
+use crate::arch::{grid, Architecture, MachineSpec};
+use crate::parallel::{run_jobs, PoolStats};
 
 /// One machine × kernel pair run with trace aggregation attached.
 #[derive(Debug, Clone)]
@@ -86,7 +88,8 @@ impl fmt::Display for TraceCheck {
     }
 }
 
-/// Runs one machine × kernel pair with an [`AggregateSink`] attached.
+/// Runs one machine × kernel pair with an
+/// [`AggregateSink`](triarch_simcore::trace::AggregateSink) attached.
 ///
 /// # Errors
 ///
@@ -96,25 +99,33 @@ pub fn check(
     kernel: Kernel,
     workloads: &WorkloadSet,
 ) -> Result<TraceCheck, SimError> {
-    let mut machine = arch.machine()?;
-    let mut sink = AggregateSink::new();
-    let run = machine.run_traced(kernel, workloads, &mut sink)?;
-    Ok(TraceCheck { arch, kernel, run, trace: sink.into_breakdown() })
+    let (run, trace) = MachineSpec::Paper(arch).run_cell_traced(kernel, workloads)?;
+    Ok(TraceCheck { arch, kernel, run, trace })
 }
 
 /// Runs every machine × kernel pair of the study with trace aggregation.
+///
+/// Serial convenience wrapper over [`check_all_jobs`] with one worker.
 ///
 /// # Errors
 ///
 /// Propagates the first [`SimError`] from any pair.
 pub fn check_all(workloads: &WorkloadSet) -> Result<Vec<TraceCheck>, SimError> {
-    let mut checks = Vec::with_capacity(Architecture::ALL.len() * Kernel::ALL.len());
-    for arch in Architecture::ALL {
-        for kernel in Kernel::ALL {
-            checks.push(check(arch, kernel, workloads)?);
-        }
-    }
-    Ok(checks)
+    check_all_jobs(workloads, 1).map(|(checks, _)| checks)
+}
+
+/// Runs the validation grid on `jobs` pool workers; the returned checks
+/// are in paper cell order regardless of worker count.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] in cell order, or
+/// [`SimError::JobPanicked`] if a check panicked.
+pub fn check_all_jobs(
+    workloads: &WorkloadSet,
+    jobs: usize,
+) -> Result<(Vec<TraceCheck>, PoolStats), SimError> {
+    run_jobs(jobs, grid(), |(arch, kernel)| check(arch, kernel, workloads))
 }
 
 /// Renders a check table, one row per machine × kernel pair.
@@ -147,6 +158,15 @@ mod tests {
             );
             assert!(check.agrees_within(0.0));
         }
+    }
+
+    #[test]
+    fn parallel_checks_match_serial_order_and_content() {
+        let workloads = WorkloadSet::small(42).unwrap();
+        let serial = check_all(&workloads).unwrap();
+        let (parallel, stats) = check_all_jobs(&workloads, 4).unwrap();
+        assert_eq!(render(&serial), render(&parallel));
+        assert_eq!(stats.jobs, serial.len());
     }
 
     #[test]

@@ -158,6 +158,15 @@ impl SignalMachine for Imagine {
     }
 }
 
+// Compile-time proof the engine is `Send`-clean: it is plain data
+// (configuration + identity; run state lives inside each program), so a
+// parallel batch driver may move it into a pool job. Adding a non-`Send`
+// field breaks this assertion instead of a distant driver build.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Imagine>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

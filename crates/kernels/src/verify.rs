@@ -33,6 +33,18 @@ pub fn verify_complex(got: &[Cf32], expected: &[Cf32]) -> Verification {
 /// signal scale rather than bit-exactly.
 pub const CSLC_TOLERANCE: f32 = 5e-3;
 
+/// The study-wide verification tolerance for one kernel: the integer
+/// kernels (corner turn, beam steering) must be bit-exact, while the
+/// floating-point CSLC uses [`CSLC_TOLERANCE`]. Shared by every driver
+/// that classifies run outputs (fault sweeps, design-space sweeps).
+#[must_use]
+pub fn tolerance(kernel: crate::Kernel) -> f32 {
+    match kernel {
+        crate::Kernel::CornerTurn | crate::Kernel::BeamSteering => 0.0,
+        crate::Kernel::Cslc => CSLC_TOLERANCE,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

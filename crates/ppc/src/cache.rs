@@ -28,6 +28,29 @@ impl CacheConfig {
         CacheConfig { size_words: 256 * 1024 / 4, line_words: 16, ways: 8 }
     }
 
+    /// Validates the geometry without panicking — the checked companion
+    /// to [`Self::sets`], used by [`crate::PpcConfig::validate`] so that
+    /// design-space sweeps over cache sizes reject degenerate points
+    /// with a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`triarch_simcore::SimError::InvalidConfig`] when any dimension is zero or
+    /// the capacity is not a whole number of sets.
+    pub fn validate(&self) -> Result<(), triarch_simcore::SimError> {
+        if self.line_words == 0 || self.ways == 0 || self.size_words == 0 {
+            return Err(triarch_simcore::SimError::invalid_config(
+                "cache geometry dimensions must be positive",
+            ));
+        }
+        if !self.size_words.is_multiple_of(self.line_words * self.ways) {
+            return Err(triarch_simcore::SimError::invalid_config(
+                "cache capacity must be a whole number of sets",
+            ));
+        }
+        Ok(())
+    }
+
     /// Number of sets.
     ///
     /// # Panics
@@ -116,7 +139,19 @@ impl Hierarchy {
     /// G4 hierarchy (L1 32 KB / L2 256 KB).
     #[must_use]
     pub fn g4() -> Self {
-        Hierarchy { l1: Cache::new(CacheConfig::g4_l1()), l2: Cache::new(CacheConfig::g4_l2()) }
+        Self::from_config(CacheConfig::g4_l1(), CacheConfig::g4_l2())
+    }
+
+    /// Builds a hierarchy from explicit geometries (used when sweeping
+    /// cache sizes in design-space exploration).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry; validate with
+    /// [`CacheConfig::validate`] first.
+    #[must_use]
+    pub fn from_config(l1: CacheConfig, l2: CacheConfig) -> Self {
+        Hierarchy { l1: Cache::new(l1), l2: Cache::new(l2) }
     }
 
     /// Touches an address through both levels; returns
@@ -137,6 +172,16 @@ mod tests {
     fn geometry() {
         assert_eq!(CacheConfig::g4_l1().sets(), 128);
         assert_eq!(CacheConfig::g4_l2().sets(), 512);
+    }
+
+    #[test]
+    fn validate_mirrors_sets_preconditions() {
+        assert!(CacheConfig::g4_l1().validate().is_ok());
+        assert!(CacheConfig::g4_l2().validate().is_ok());
+        assert!(CacheConfig { size_words: 100, line_words: 8, ways: 3 }.validate().is_err());
+        assert!(CacheConfig { size_words: 0, line_words: 8, ways: 8 }.validate().is_err());
+        assert!(CacheConfig { size_words: 64, line_words: 0, ways: 8 }.validate().is_err());
+        assert!(CacheConfig { size_words: 64, line_words: 8, ways: 0 }.validate().is_err());
     }
 
     #[test]

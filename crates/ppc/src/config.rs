@@ -2,6 +2,8 @@
 
 use triarch_simcore::{ClockFrequency, CycleBudget, MachineInfo, SimError, ThroughputModel};
 
+use crate::cache::CacheConfig;
+
 /// Parameters of the modeled 1 GHz PowerMac G4 (PPC 7450).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PpcConfig {
@@ -23,6 +25,11 @@ pub struct PpcConfig {
     pub trig_cycles: u64,
     /// AltiVec vector width in 32-bit lanes.
     pub vector_lanes: usize,
+    /// L1 data-cache geometry (paper: 32 KB, 32-byte lines, 8-way).
+    pub l1: CacheConfig,
+    /// Unified L2 geometry (paper: 256 KB, 64-byte lines, 8-way) — the
+    /// knob the design-space driver sweeps for the baseline.
+    pub l2: CacheConfig,
     /// Watchdog budget on simulated cycles (default: unlimited).
     pub budget: CycleBudget,
 }
@@ -39,8 +46,19 @@ impl PpcConfig {
             l2_store_miss_penalty: 28,
             trig_cycles: 65,
             vector_lanes: 4,
+            l1: CacheConfig::g4_l1(),
+            l2: CacheConfig::g4_l2(),
             budget: CycleBudget::UNLIMITED,
         }
+    }
+
+    /// The paper configuration with an L2 of `kib` kibibytes (same line
+    /// size and associativity as the G4's 256 KB part).
+    #[must_use]
+    pub fn with_l2_kib(kib: usize) -> Self {
+        let mut cfg = Self::paper();
+        cfg.l2.size_words = kib * 1024 / 4;
+        cfg
     }
 
     /// Table 2 identity for the scalar PPC row.
@@ -79,6 +97,8 @@ impl PpcConfig {
         if self.vector_lanes == 0 {
             return Err(SimError::invalid_config("altivec needs vector lanes"));
         }
+        self.l1.validate()?;
+        self.l2.validate()?;
         Ok(())
     }
 }
@@ -106,5 +126,20 @@ mod tests {
         let mut cfg = PpcConfig::paper();
         cfg.vector_lanes = 0;
         assert!(cfg.validate().is_err());
+        let mut cfg = PpcConfig::paper();
+        cfg.l2.ways = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn l2_sweep_helper_scales_capacity_only() {
+        let paper = PpcConfig::paper();
+        let big = PpcConfig::with_l2_kib(1024);
+        assert_eq!(big.l2.size_words, 1024 * 1024 / 4);
+        assert_eq!(big.l2.line_words, paper.l2.line_words);
+        assert_eq!(big.l2.ways, paper.l2.ways);
+        assert_eq!(big.l1, paper.l1);
+        assert_eq!(PpcConfig::with_l2_kib(256), paper);
+        big.validate().unwrap();
     }
 }

@@ -68,7 +68,7 @@ impl<S: TraceSink, F: FaultHook> PpcMachine<S, F> {
         cfg.validate()?;
         Ok(PpcMachine {
             cfg: cfg.clone(),
-            hier: Hierarchy::g4(),
+            hier: Hierarchy::from_config(cfg.l1, cfg.l2),
             instrs: 0,
             serial_cycles: 0,
             trig_calls: 0,

@@ -78,6 +78,23 @@ pub struct DramConfig {
 }
 
 impl DramConfig {
+    /// Returns a copy with the unit-stride burst rate replaced — sweep
+    /// plumbing for design-space exploration over interface widths.
+    #[must_use]
+    pub fn with_seq_words_per_cycle(mut self, words: u32) -> Self {
+        self.seq_words_per_cycle = words;
+        self
+    }
+
+    /// Returns a copy with the strided (address-generator-limited) rate
+    /// replaced — sweep plumbing for design-space exploration over the
+    /// number of address generators.
+    #[must_use]
+    pub fn with_strided_words_per_cycle(mut self, words: u32) -> Self {
+        self.strided_words_per_cycle = words;
+        self
+    }
+
     /// VIRAM's on-chip DRAM: 2 wings × 4 banks, 256-bit (8-word) path,
     /// 4 address generators ⇒ 4 strided words/cycle (paper Section 2.1).
     #[must_use]

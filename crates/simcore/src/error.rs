@@ -48,6 +48,15 @@ pub enum SimError {
         /// Description of the detected fault, from the fault hook.
         what: String,
     },
+    /// A job in a parallel batch panicked. The pool contains the panic
+    /// and surfaces it as this typed error (submission index plus the
+    /// panic payload) instead of poisoning the batch or hanging.
+    JobPanicked {
+        /// Submission index of the panicking job within its batch.
+        job: usize,
+        /// The panic payload rendered as text.
+        what: String,
+    },
 }
 
 impl SimError {
@@ -69,6 +78,11 @@ impl SimError {
     /// Convenience constructor for [`SimError::DetectedFault`].
     pub fn detected_fault(what: impl Into<String>) -> Self {
         SimError::DetectedFault { what: what.into() }
+    }
+
+    /// Convenience constructor for [`SimError::JobPanicked`].
+    pub fn job_panicked(job: usize, what: impl Into<String>) -> Self {
+        SimError::JobPanicked { job, what: what.into() }
     }
 
     /// True for errors that represent a *detected* abnormal run (watchdog
@@ -94,6 +108,9 @@ impl fmt::Display for SimError {
                 write!(f, "cycle budget exceeded: spent {spent} cycles of a {limit}-cycle budget")
             }
             SimError::DetectedFault { what } => write!(f, "detected fault: {what}"),
+            SimError::JobPanicked { job, what } => {
+                write!(f, "parallel job {job} panicked: {what}")
+            }
         }
     }
 }
@@ -125,6 +142,9 @@ mod tests {
         let e = SimError::detected_fault("uncorrectable double-bit dram error at word 7");
         assert!(e.to_string().starts_with("detected fault:"));
         assert!(e.to_string().contains("word 7"));
+
+        let e = SimError::job_panicked(3, "index out of bounds");
+        assert_eq!(e.to_string(), "parallel job 3 panicked: index out of bounds");
     }
 
     /// Every variant must render a non-empty, lowercase-leading message.
@@ -139,6 +159,7 @@ mod tests {
             SimError::unsupported("x"),
             SimError::BudgetExceeded { spent: 2, limit: 1 },
             SimError::detected_fault("x"),
+            SimError::job_panicked(0, "x"),
         ];
         for e in samples {
             // Exhaustive: no `_` arm, so new variants break this test at
@@ -150,6 +171,7 @@ mod tests {
                 SimError::Unsupported { .. } => false,
                 SimError::BudgetExceeded { .. } => true,
                 SimError::DetectedFault { .. } => true,
+                SimError::JobPanicked { .. } => false,
             };
             assert_eq!(e.is_detected_abort(), expect_detected_abort, "{e:?}");
             let msg = e.to_string();
