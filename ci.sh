@@ -18,6 +18,10 @@ echo "== cargo clippy triarch-pool (deny unwrap/expect) =="
 cargo clippy -p triarch-pool --all-targets -- -D warnings \
   -D clippy::unwrap_used -D clippy::expect_used
 
+echo "== cargo clippy triarch-metrics (deny unwrap/expect) =="
+cargo clippy -p triarch-metrics --all-targets -- -D warnings \
+  -D clippy::unwrap_used -D clippy::expect_used
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
@@ -59,6 +63,38 @@ if echo "$dse_out" | grep -q "\[FAIL\]"; then
   exit 1
 fi
 
+echo "== metrics conservation smoke (drift 0 on all 15 cells) =="
+m="$(cargo run --release -q -p triarch-bench --bin repro -- metrics target/ci-metrics --small --jobs 2 2>/dev/null)"
+drifts="$(echo "$m" | grep -c "cycle conservation drift 0$" || true)"
+if [ "$drifts" != "15" ]; then
+  echo "expected 15 cells with cycle conservation drift 0, saw $drifts" >&2
+  echo "$m" >&2
+  exit 1
+fi
+test -s target/ci-metrics/metrics.prom || {
+  echo "metrics.prom was not written" >&2
+  exit 1
+}
+
+echo "== perf gate (fresh BENCH_table3.json vs committed baseline) =="
+# Tolerance is explicit: the simulators are deterministic, so 0 drift is
+# expected. Override with TRIARCH_PERF_TOLERANCE=<fraction> or skip an
+# intentional baseline move with TRIARCH_PERF_SKIP=1 (refresh the baseline
+# via `repro -- bench --json BENCH_table3.json` in the same change).
+cargo run --release -q -p triarch-bench --bin repro -- \
+  bench target/BENCH_fresh.json --json >/dev/null 2>&1
+TRIARCH_PERF_TOLERANCE="${TRIARCH_PERF_TOLERANCE:-0}" \
+  cargo run --release -q -p triarch-bench --bin perfgate -- \
+  BENCH_table3.json target/BENCH_fresh.json
+
+echo "== perfgate rejects a malformed artifact =="
+echo '{"schema_version": 1}' > target/BENCH_bad.json
+if cargo run --release -q -p triarch-bench --bin perfgate -- \
+  BENCH_table3.json target/BENCH_bad.json 2>/dev/null; then
+  echo "perfgate accepted a schema-invalid artifact" >&2
+  exit 1
+fi
+
 echo "== repro rejects unknown selectors and bad --jobs =="
 if cargo run --release -q -p triarch-bench --bin repro -- no-such-exhibit 2>/dev/null; then
   echo "repro accepted an unknown selector" >&2
@@ -66,6 +102,10 @@ if cargo run --release -q -p triarch-bench --bin repro -- no-such-exhibit 2>/dev
 fi
 if cargo run --release -q -p triarch-bench --bin repro -- --jobs 0 table1 2>/dev/null; then
   echo "repro accepted --jobs 0" >&2
+  exit 1
+fi
+if cargo run --release -q -p triarch-bench --bin repro -- --json table3 2>/dev/null; then
+  echo "repro accepted --json without the bench selector" >&2
   exit 1
 fi
 

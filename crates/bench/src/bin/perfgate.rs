@@ -1,0 +1,107 @@
+//! `perfgate` — the CI perf-regression gate over `BENCH_table3.json`.
+//!
+//! ```sh
+//! cargo run --release -p triarch-bench --bin perfgate -- \
+//!     BENCH_table3.json target/BENCH_table3.json
+//! ```
+//!
+//! Parses and schema-validates both files (a malformed artifact is a
+//! gate failure of its own), then compares per-cell simulated cycles
+//! within a relative tolerance band:
+//!
+//! - `TRIARCH_PERF_TOLERANCE` — allowed relative drift per cell
+//!   (a fraction, e.g. `0.02` for ±2%; default `0`: the simulators are
+//!   deterministic, so any drift is a real behaviour change).
+//! - `TRIARCH_PERF_SKIP=1` — skip the gate entirely (escape hatch for
+//!   intentional baseline-moving changes; refresh the baseline with
+//!   `repro -- bench --json BENCH_table3.json` in the same change).
+//!
+//! Wall time, worker count, and git revision are informational fields
+//! and never gated.
+//!
+//! Exit codes: `0` pass (or skipped), `1` regression or malformed
+//! artifact, `2` usage error.
+
+use std::env;
+use std::fs;
+use std::process;
+
+use triarch_bench::benchjson::{compare, BenchReport};
+
+/// Environment variable holding the relative tolerance (fraction).
+const TOLERANCE_ENV: &str = "TRIARCH_PERF_TOLERANCE";
+
+/// Environment variable that skips the gate when set to `1`.
+const SKIP_ENV: &str = "TRIARCH_PERF_SKIP";
+
+fn usage() -> ! {
+    eprintln!("usage: perfgate <baseline.json> <fresh.json>");
+    eprintln!("  env: {TOLERANCE_ENV}=<fraction> (default 0), {SKIP_ENV}=1 to skip");
+    process::exit(2);
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("{path}: schema check failed: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = match args.as_slice() {
+        [a, b] => [a.clone(), b.clone()],
+        _ => usage(),
+    };
+    if env::var(SKIP_ENV).as_deref() == Ok("1") {
+        eprintln!("perfgate: skipped ({SKIP_ENV}=1)");
+        return;
+    }
+    let tolerance = match env::var(TOLERANCE_ENV) {
+        Ok(v) => match v.parse::<f64>() {
+            Ok(t) if t >= 0.0 && t.is_finite() => t,
+            _ => {
+                eprintln!("perfgate: {TOLERANCE_ENV} must be a non-negative fraction, got '{v}'");
+                process::exit(2);
+            }
+        },
+        Err(_) => 0.0,
+    };
+
+    let (baseline, fresh) = match (load(&baseline_path), load(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("perfgate: {err}");
+            }
+            process::exit(1);
+        }
+    };
+
+    let violations = compare(&baseline, &fresh, tolerance);
+    if violations.is_empty() {
+        eprintln!(
+            "perfgate: PASS — {} cells within {:.1}% of baseline {} \
+             (fresh {}, wall {:.3}s vs {:.3}s)",
+            baseline.cells.len(),
+            tolerance * 100.0,
+            baseline.git_rev,
+            fresh.git_rev,
+            fresh.wall_seconds,
+            baseline.wall_seconds,
+        );
+    } else {
+        eprintln!(
+            "perfgate: FAIL — {} violation(s) against baseline {} (tolerance {:.1}%):",
+            violations.len(),
+            baseline.git_rev,
+            tolerance * 100.0,
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        eprintln!(
+            "refresh intentionally with: \
+             cargo run --release -p triarch-bench --bin repro -- bench --json"
+        );
+        process::exit(1);
+    }
+}

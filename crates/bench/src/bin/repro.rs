@@ -6,12 +6,28 @@
 //! ```
 //!
 //! Accepted selectors: `table1 table2 table3 table4 figure8 figure9
-//! breakdowns altivec claims ablations trace faultsweep`.
+//! breakdowns altivec claims ablations trace faultsweep dse metrics
+//! bench`.
 //!
 //! `trace [dir]` runs every machine × kernel pair with event tracing
 //! enabled and writes one Chrome `trace_event` JSON file and one CSV per
 //! pair under `dir` (default `target/traces`); open the JSON in
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! `metrics [dir]` runs the Table 3 grid and writes each cell's
+//! hardware-counter report (plus its roofline utilizations) as JSON
+//! under `dir` (default `target/metrics`), together with a combined
+//! Prometheus-style text dump (`metrics.prom`). The per-cell cycle
+//! conservation drift (metric counters vs the breakdown ledger) is
+//! printed per cell and is exactly 0 by construction; the roofline
+//! utilization scorecard follows. `--small` substitutes the reduced
+//! workload set.
+//!
+//! `bench [file] [--json]` times the Table 3 batch. With `--json` it
+//! writes the schema-versioned benchmark artifact (default
+//! `BENCH_table3.json`): wall time, git revision, and per-cell cycles +
+//! utilizations. The committed artifact at the repo root is the CI
+//! perf-gate baseline; see the `perfgate` binary.
 //!
 //! `faultsweep [--seed S] [--campaigns N] [--small]` runs every machine ×
 //! kernel pair under `N` seeded fault-injection campaigns and prints the
@@ -40,17 +56,22 @@ use std::env;
 use std::fs;
 use std::path::Path;
 use std::process;
+use std::time::{Duration, Instant};
 
+use triarch_bench::benchjson::{self, BenchCell, BenchReport, SCHEMA_VERSION};
 use triarch_core::arch::Architecture;
+use triarch_core::experiments::Table3;
+use triarch_core::roofline::Scorecard;
 use triarch_core::{ablations, dse, experiments, faultsweep};
-use triarch_kernels::Kernel;
+use triarch_kernels::{Kernel, WorkloadSet};
+use triarch_simcore::metrics::MetricsReport;
 use triarch_simcore::trace::{export, AggregateSink, RingSink, TeeSink};
 
 /// Events retained per trace file; older events are counted as dropped.
 const RING_CAPACITY: usize = 1 << 18;
 
 /// Every selector the CLI accepts (flags are parsed separately).
-const SELECTORS: [&str; 13] = [
+const SELECTORS: [&str; 15] = [
     "table1",
     "table2",
     "table3",
@@ -64,6 +85,8 @@ const SELECTORS: [&str; 13] = [
     "trace",
     "faultsweep",
     "dse",
+    "metrics",
+    "bench",
 ];
 
 /// Parsed command line.
@@ -72,6 +95,12 @@ struct Options {
     selectors: Vec<String>,
     /// Output directory for `trace`.
     trace_dir: String,
+    /// Output directory for `metrics`.
+    metrics_dir: String,
+    /// Output path for `bench --json`.
+    bench_path: String,
+    /// Whether `bench` writes the JSON artifact (`--json`).
+    bench_json: bool,
     /// Fault-sweep seed (`--seed`).
     seed: u64,
     /// Fault-sweep campaigns per machine × kernel pair (`--campaigns`).
@@ -91,6 +120,9 @@ impl Options {
         let mut opts = Options {
             selectors: Vec::new(),
             trace_dir: String::from("target/traces"),
+            metrics_dir: String::from("target/metrics"),
+            bench_path: String::from("BENCH_table3.json"),
+            bench_json: false,
             seed: triarch_bench::SEED,
             campaigns: 8,
             small: false,
@@ -124,15 +156,23 @@ impl Options {
                     opts.small = true;
                     i += 1;
                 }
-                "trace" => {
-                    opts.selectors.push(String::from("trace"));
-                    // An optional output directory may follow.
+                "trace" | "metrics" | "bench" => {
+                    opts.selectors.push(String::from(arg));
+                    // An optional output path may follow.
                     if let Some(next) = args.get(i + 1) {
                         if !SELECTORS.contains(&next.as_str()) && !next.starts_with("--") {
-                            opts.trace_dir.clone_from(next);
+                            match arg {
+                                "trace" => opts.trace_dir.clone_from(next),
+                                "metrics" => opts.metrics_dir.clone_from(next),
+                                _ => opts.bench_path.clone_from(next),
+                            }
                             i += 1;
                         }
                     }
+                    i += 1;
+                }
+                "--json" => {
+                    opts.bench_json = true;
                     i += 1;
                 }
                 s if SELECTORS.contains(&s) => {
@@ -147,6 +187,9 @@ impl Options {
                 }
             }
         }
+        if opts.bench_json && !opts.explicit("bench") {
+            return Err(String::from("--json requires the bench selector"));
+        }
         Ok(opts)
     }
 
@@ -157,7 +200,9 @@ impl Options {
             || (self.selectors.is_empty()
                 && name != "trace"
                 && name != "faultsweep"
-                && name != "dse")
+                && name != "dse"
+                && name != "metrics"
+                && name != "bench")
     }
 
     /// Whether `name` was explicitly selected on the command line.
@@ -253,6 +298,128 @@ fn run_dse(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// The workload set a selector should use, with its kind label.
+fn select_workloads(opts: &Options) -> (WorkloadSet, &'static str) {
+    if opts.small {
+        (triarch_bench::small_workloads(), "small")
+    } else {
+        (triarch_bench::paper_workloads(), "paper")
+    }
+}
+
+/// The hierarchical prefix under which an architecture's engine exports
+/// its cycle-category counters (Altivec shares the PPC engine).
+fn cycles_prefix(arch: Architecture) -> &'static str {
+    match arch {
+        Architecture::Ppc | Architecture::Altivec => "ppc.cycles.",
+        Architecture::Viram => "viram.cycles.",
+        Architecture::Imagine => "imagine.cycles.",
+        Architecture::Raw => "raw.cycles.",
+    }
+}
+
+/// Runs the grid and writes per-cell metrics JSON + a Prometheus dump.
+fn run_metrics(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new(&opts.metrics_dir);
+    fs::create_dir_all(dir)?;
+    let (workloads, kind) = select_workloads(opts);
+    eprintln!("collecting hardware-counter metrics ({kind} workloads) ...");
+    let (table3, stats) = experiments::table3_jobs(&workloads, opts.jobs)?;
+    eprintln!("{}", stats.render());
+    let scorecard = Scorecard::compute(&table3, &workloads)?;
+
+    println!("== Hardware-counter metrics ({}) ==", dir.display());
+    let mut combined = MetricsReport::new();
+    let mut cells = 0usize;
+    for (arch, kernel, run) in table3.iter() {
+        let mut report = run.metrics.clone();
+        scorecard.cell(arch, kernel).export_metrics(&mut report);
+        let base = format!("{}-{}", slug(arch.name()), slug(kernel.name()));
+        fs::write(dir.join(format!("{base}.metrics.json")), report.render_json())?;
+        for (name, metric) in report.iter() {
+            combined.set(&format!("{base}.{name}"), metric.clone());
+        }
+        // Conservation law: the exported cycle-category counters must
+        // re-add to the engine's total cycle count exactly.
+        let counted = report.counter_sum(cycles_prefix(arch));
+        let drift = counted.abs_diff(run.cycles.get());
+        println!("  {base}: {} metrics, cycle conservation drift {drift}", report.len());
+        cells += 1;
+    }
+    fs::write(dir.join("metrics.prom"), combined.render_prometheus())?;
+    println!("  wrote {cells} per-cell JSON reports + metrics.prom");
+    println!();
+    println!("== Roofline utilization scorecard ==");
+    println!("{}", scorecard.render());
+    Ok(())
+}
+
+/// Builds the schema-versioned benchmark artifact from a measured grid.
+fn bench_report(
+    table3: &Table3,
+    scorecard: &Scorecard,
+    workload: &str,
+    jobs: usize,
+    wall: Duration,
+) -> BenchReport {
+    let cells = table3
+        .iter()
+        .map(|(arch, kernel, run)| {
+            let c = scorecard.cell(arch, kernel);
+            BenchCell {
+                arch: arch.name().to_string(),
+                kernel: kernel.name().to_string(),
+                cycles: run.cycles.get(),
+                ops: run.ops_executed,
+                mem_words: run.mem_words,
+                util: [c.onchip_util, c.offchip_util, c.compute_util, c.bound_util],
+                gflops: c.achieved_gflops,
+                gbytes_per_s: c.achieved_gbytes,
+            }
+        })
+        .collect();
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        git_rev: benchjson::git_rev(),
+        workload: workload.to_string(),
+        jobs: jobs as u64,
+        wall_seconds: wall.as_secs_f64(),
+        cells,
+    }
+}
+
+/// Times the Table 3 batch; with `--json`, writes the bench artifact.
+fn run_bench(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let (workloads, kind) = select_workloads(opts);
+    eprintln!("benchmarking the Table 3 grid ({kind} workloads) ...");
+    let t0 = Instant::now();
+    let (table3, stats) = experiments::table3_jobs(&workloads, opts.jobs)?;
+    let wall = t0.elapsed();
+    eprintln!("{}", stats.render());
+    let scorecard = Scorecard::compute(&table3, &workloads)?;
+    let report = bench_report(&table3, &scorecard, kind, opts.jobs, wall);
+    if opts.bench_json {
+        fs::write(&opts.bench_path, report.render())?;
+        println!("== Bench ==");
+        println!(
+            "  wrote {} (schema v{SCHEMA_VERSION}, {} cells, {kind} workloads)",
+            opts.bench_path,
+            report.cells.len(),
+        );
+        println!();
+    } else {
+        println!("== Bench: Table 3 (kilocycles) ==");
+        println!("{}", table3.render());
+    }
+    eprintln!(
+        "bench: wall {:.3}s on {} workers (git {})",
+        wall.as_secs_f64(),
+        opts.jobs,
+        report.git_rev,
+    );
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if opts.want("table1") {
         println!("== Table 1: peak throughput (32-bit words per cycle) ==");
@@ -278,6 +445,17 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     // `dse` likewise: a design-space study around the paper's points.
     if opts.explicit("dse") {
         run_dse(opts)?;
+    }
+
+    // `metrics [dir]` writes files, so it is explicit-only too.
+    if opts.explicit("metrics") {
+        run_metrics(opts)?;
+    }
+
+    // `bench` measures host wall time (and optionally writes the
+    // artifact); it never joins the run-everything default.
+    if opts.explicit("bench") {
+        run_bench(opts)?;
     }
 
     let needs_runs =
@@ -348,7 +526,8 @@ fn main() {
             eprintln!("repro: {msg}");
             eprintln!(
                 "usage: repro [--jobs N] [selector ...] [trace [dir]] \
-                 [faultsweep [--seed S] [--campaigns N] [--small]] [dse [--small]]"
+                 [faultsweep [--seed S] [--campaigns N] [--small]] [dse [--small]] \
+                 [metrics [dir] [--small]] [bench [file] [--json] [--small]]"
             );
             process::exit(2);
         }

@@ -4,6 +4,8 @@
 
 use triarch_kernels::WorkloadSet;
 
+pub mod benchjson;
+
 /// Seed shared by every bench so all runs see identical data.
 pub const SEED: u64 = 42;
 

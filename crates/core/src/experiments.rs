@@ -222,6 +222,21 @@ pub fn model_demands(arch: Architecture, kernel: Kernel, workloads: &WorkloadSet
             d.ops /= 2;
         }
     }
+    if matches!(arch, Architecture::Ppc | Architecture::Altivec) {
+        // The G4 is a cached machine, not a streaming one: its caches
+        // capture all the reuse the streamed-word counts above cannot
+        // see, so those counts are *not* valid lower bounds on off-chip
+        // traffic.  The only G4 cell with guaranteed off-chip traffic is
+        // the corner turn whose matrix exceeds the 256 KB L2 — there the
+        // compulsory traffic (each word crosses once per direction, which
+        // is exactly what `demands_offchip` counts) is a true bound.
+        // Every other G4 cell drops the off-chip term, keeping the model
+        // a lower bound (dropping a constraint can only lower it).
+        let l2_words = triarch_ppc::PpcConfig::paper().l2.size_words as u64;
+        if kernel != Kernel::CornerTurn || d.offchip_words <= l2_words {
+            d.offchip_words = 0;
+        }
+    }
     d
 }
 

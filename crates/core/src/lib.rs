@@ -45,6 +45,7 @@ pub mod faultsweep;
 pub mod paper;
 pub mod parallel;
 pub mod report;
+pub mod roofline;
 pub mod tracecheck;
 
 pub use arch::Architecture;

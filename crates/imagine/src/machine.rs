@@ -1,6 +1,7 @@
 //! The Imagine execution engine: SRF, memory streams, and cluster kernels.
 
 use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults, TransferFaults};
+use triarch_simcore::metrics::{Histogram, Metric, MetricsReport};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
     AccessPattern, CycleBreakdown, CycleBudget, Cycles, DramModel, KernelRun, SimError,
@@ -101,6 +102,10 @@ pub struct ImagineMachine<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     mem: WordMemory,
     srf: WordMemory,
     srf_next: usize,
+    /// High-water mark of SRF allocation across the whole run (words).
+    srf_peak: usize,
+    /// Fixed-bucket histogram of per-stream DRAM occupancy cycles.
+    mem_hist: Histogram,
     breakdown: CycleBreakdown,
     hidden: Cycles,
     ops: u64,
@@ -149,6 +154,8 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
             mem: WordMemory::new(cfg.mem_words),
             srf: WordMemory::new(cfg.srf_words),
             srf_next: 0,
+            srf_peak: 0,
+            mem_hist: Histogram::cycles(),
             breakdown: CycleBreakdown::new(),
             hidden: Cycles::ZERO,
             ops: 0,
@@ -201,6 +208,7 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
         }
         let range = SrfRange { start: self.srf_next, len };
         self.srf_next += len;
+        self.srf_peak = self.srf_peak.max(self.srf_next);
         Ok(range)
     }
 
@@ -361,6 +369,7 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
             TRACK_DRAM,
             cursor,
         )?;
+        self.mem_hist.observe(cost.total.get());
         self.mem_words += len as u64;
         self.charge(true, "memory", "stream-in", cost.data + cost.startup);
         self.charge(true, "precharge", "row-precharge-activate", cost.overhead);
@@ -417,6 +426,7 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
             TRACK_DRAM,
             cursor,
         )?;
+        self.mem_hist.observe(cost.total.get());
         self.mem_words += len as u64;
         self.charge(true, "memory", "stream-out", cost.data + cost.startup);
         self.charge(true, "precharge", "row-precharge-activate", cost.overhead);
@@ -505,12 +515,26 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
         if self.overlap.is_some() {
             return Err(SimError::unsupported("finish with open overlap region"));
         }
+        let total = self.breakdown.total();
+        let mut metrics = MetricsReport::new();
+        self.breakdown.export_metrics(&mut metrics, "imagine.cycles");
+        self.dram.export_metrics(&mut metrics, "imagine.dram");
+        self.budget.export_metrics(&mut metrics, "imagine.budget", self.spent);
+        metrics.ratio("imagine.srf.occupancy", self.srf_peak as u64, self.cfg.srf_words as u64);
+        metrics.counter("imagine.srf.peak_words", self.srf_peak as u64);
+        metrics.counter("imagine.run.ops", self.ops);
+        metrics.counter("imagine.run.mem_words", self.mem_words);
+        metrics.counter("imagine.run.hidden_cycles", self.hidden.get());
+        metrics.bandwidth("imagine.run.achieved_bw", self.mem_words, total.get());
+        metrics.bandwidth("imagine.run.achieved_ops", self.ops, total.get());
+        metrics.set("imagine.mem.xfer_cycles", Metric::Histogram(self.mem_hist));
         Ok(KernelRun {
-            cycles: self.breakdown.total(),
+            cycles: total,
             breakdown: self.breakdown,
             ops_executed: self.ops,
             mem_words: self.mem_words,
             verification,
+            metrics,
         })
     }
 }
@@ -587,6 +611,21 @@ mod tests {
         fn breakdown_get(&self, cat: &str) -> u64 {
             self.breakdown.get(cat).get()
         }
+    }
+
+    #[test]
+    fn finish_carries_metrics() {
+        let mut m = machine();
+        m.memory_mut().write_block_u32(0, &[7; 64]).unwrap();
+        let r = m.srf_alloc(64).unwrap();
+        m.stream_in(0, r, 64, AccessPattern::Sequential).unwrap();
+        m.kernel_exec(ClusterOps { adds: 64, ..Default::default() }).unwrap();
+        let run = m.finish(Verification::BitExact).unwrap();
+        assert_eq!(run.metrics.counter_sum("imagine.cycles."), run.cycles.get());
+        assert_eq!(run.metrics.counter_value("imagine.srf.peak_words"), Some(64));
+        assert!(run.metrics.get("imagine.srf.occupancy").is_some());
+        assert!(run.metrics.get("imagine.dram.achieved_bw").is_some());
+        assert!(run.metrics.get("imagine.mem.xfer_cycles").is_some());
     }
 
     #[test]

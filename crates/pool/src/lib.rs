@@ -45,6 +45,8 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use triarch_metrics::{Metric, MetricsReport};
+
 /// Environment variable consulted by [`jobs_from_env`].
 pub const JOBS_ENV: &str = "TRIARCH_JOBS";
 
@@ -113,21 +115,44 @@ impl PoolStats {
         self.busy.as_secs_f64() / self.wall.as_secs_f64()
     }
 
+    /// Exports the run's statistics into `report` under the `pool.`
+    /// prefix — counts as counters, sizes/times/ratios as gauges.
+    ///
+    /// This is the canonical representation: [`PoolStats::render`] (the
+    /// stderr throughput line) is a formatter over this registry view,
+    /// and the `metrics` driver dumps the same names to Prometheus text.
+    pub fn export_metrics(&self, report: &mut MetricsReport) {
+        report.counter("pool.jobs", self.jobs as u64);
+        report.counter("pool.steals", self.steals);
+        report.counter("pool.injector_pops", self.injector_pops);
+        report.gauge("pool.workers", self.workers as f64);
+        report.gauge("pool.max_queue_depth", self.max_queue_depth as f64);
+        report.gauge("pool.wall_seconds", self.wall.as_secs_f64());
+        report.gauge("pool.busy_seconds", self.busy.as_secs_f64());
+        report.gauge("pool.effective_parallelism", self.effective_parallelism());
+    }
+
     /// Renders a one-line throughput report (the drivers print this to
     /// stderr so stdout stays byte-identical across worker counts).
+    ///
+    /// Implemented as a formatter over [`PoolStats::export_metrics`] so
+    /// the line and the registry can never disagree.
     #[must_use]
     pub fn render(&self) -> String {
+        let mut m = MetricsReport::new();
+        self.export_metrics(&mut m);
+        let value = |name: &str| m.get(name).map(Metric::value).unwrap_or(0.0);
         format!(
             "pool: {} jobs on {} workers in {:.3}s \
              (busy {:.3}s, {:.2}x effective, {} steals, {} injector pops, max depth {})",
-            self.jobs,
-            self.workers,
-            self.wall.as_secs_f64(),
-            self.busy.as_secs_f64(),
-            self.effective_parallelism(),
-            self.steals,
-            self.injector_pops,
-            self.max_queue_depth,
+            m.counter_value("pool.jobs").unwrap_or(0),
+            value("pool.workers") as u64,
+            value("pool.wall_seconds"),
+            value("pool.busy_seconds"),
+            value("pool.effective_parallelism"),
+            m.counter_value("pool.steals").unwrap_or(0),
+            m.counter_value("pool.injector_pops").unwrap_or(0),
+            value("pool.max_queue_depth") as u64,
         )
     }
 }
@@ -541,6 +566,30 @@ mod tests {
     fn effective_parallelism_handles_zero_wall() {
         let stats = PoolStats::default();
         assert_eq!(stats.effective_parallelism(), 0.0);
+    }
+
+    #[test]
+    fn metrics_export_backs_the_render_line() {
+        let stats = PoolStats {
+            workers: 4,
+            jobs: 15,
+            steals: 3,
+            injector_pops: 12,
+            max_queue_depth: 15,
+            wall: Duration::from_millis(250),
+            busy: Duration::from_millis(750),
+        };
+        let mut m = MetricsReport::new();
+        stats.export_metrics(&mut m);
+        assert_eq!(m.counter_value("pool.jobs"), Some(15));
+        assert_eq!(m.counter_value("pool.steals"), Some(3));
+        assert_eq!(m.counter_value("pool.injector_pops"), Some(12));
+        assert_eq!(m.get("pool.workers"), Some(&Metric::Gauge(4.0)));
+        assert_eq!(m.get("pool.max_queue_depth"), Some(&Metric::Gauge(15.0)));
+        assert_eq!(m.get("pool.effective_parallelism"), Some(&Metric::Gauge(3.0)));
+        let line = stats.render();
+        assert!(line.starts_with("pool: 15 jobs on 4 workers in 0.250s"), "{line}");
+        assert!(line.contains("3.00x effective, 3 steals, 12 injector pops, max depth 15"));
     }
 
     proptest! {

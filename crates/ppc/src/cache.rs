@@ -68,14 +68,20 @@ impl CacheConfig {
     }
 }
 
-/// One cache level with LRU replacement.
+/// One cache level with LRU replacement and dirty-line tracking.
+///
+/// Hit/miss/eviction/writeback totals live in a shared
+/// [`CacheCounters`](triarch_simcore::metrics::CacheCounters) set (the
+/// same vocabulary every cache model in the workspace exports through the
+/// metrics registry) instead of bespoke per-struct fields.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    // Per set: tags in LRU order (front = most recent).
+    // Per set: packed `(tag << 1) | dirty` entries in LRU order
+    // (front = most recent). Packing the dirty bit into the tag word
+    // keeps the hot-path layout identical to the pre-dirty-bit model.
     sets: Vec<Vec<usize>>,
-    hits: u64,
-    misses: u64,
+    counters: triarch_simcore::metrics::CacheCounters,
 }
 
 impl Cache {
@@ -83,26 +89,54 @@ impl Cache {
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
-        Cache { cfg, sets: vec![Vec::with_capacity(cfg.ways); sets], hits: 0, misses: 0 }
+        Cache {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.ways); sets],
+            counters: triarch_simcore::metrics::CacheCounters::default(),
+        }
+    }
+
+    /// Touches the line containing `word_addr` as a read; returns `true`
+    /// on a miss.
+    #[inline]
+    pub fn access(&mut self, word_addr: usize) -> bool {
+        self.access_rw(word_addr, false)
     }
 
     /// Touches the line containing `word_addr`; returns `true` on a miss.
+    ///
+    /// A write marks the line dirty; evicting a dirty line counts a
+    /// writeback.  Writeback traffic is *observability only* — the G4's
+    /// timing charges store misses through its buffered store-miss
+    /// penalty, so cycle totals are unchanged by the dirty-bit model.
     #[inline]
-    pub fn access(&mut self, word_addr: usize) -> bool {
+    pub fn access_rw(&mut self, word_addr: usize, is_write: bool) -> bool {
         let line = word_addr / self.cfg.line_words;
         let set = line % self.sets.len();
         let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&t| t == line) {
-            let tag = ways.remove(pos);
-            ways.insert(0, tag);
-            self.hits += 1;
+        if let Some(pos) = ways.iter().position(|&t| (t >> 1) == line) {
+            // Move-to-front via a prefix rotate: one memmove over
+            // `[0..=pos]` instead of remove+insert shuffling the whole set.
+            let tag = ways[pos] | usize::from(is_write);
+            ways[..=pos].rotate_right(1);
+            ways[0] = tag;
+            self.counters.hits += 1;
             false
         } else {
+            self.counters.misses += 1;
+            let packed = (line << 1) | usize::from(is_write);
             if ways.len() == self.cfg.ways {
-                ways.pop();
+                // Steady state: replace the LRU tail in place with one
+                // full rotate (the pre-eviction pop+insert did two).
+                if let Some(&evicted) = ways.last() {
+                    self.counters.evictions += 1;
+                    self.counters.writebacks += u64::from(evicted & 1 == 1);
+                }
+                ways.rotate_right(1);
+                ways[0] = packed;
+            } else {
+                ways.insert(0, packed);
             }
-            ways.insert(0, line);
-            self.misses += 1;
             true
         }
     }
@@ -110,13 +144,31 @@ impl Cache {
     /// Hits so far.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.counters.hits
     }
 
     /// Misses so far.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.counters.misses
+    }
+
+    /// Capacity/conflict evictions so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.counters.evictions
+    }
+
+    /// Dirty-line writebacks so far.
+    #[must_use]
+    pub fn writebacks(&self) -> u64 {
+        self.counters.writebacks
+    }
+
+    /// The full shared counter set (for metrics export).
+    #[must_use]
+    pub fn counters(&self) -> &triarch_simcore::metrics::CacheCounters {
+        &self.counters
     }
 
     /// The geometry.
@@ -154,12 +206,21 @@ impl Hierarchy {
         Hierarchy { l1: Cache::new(l1), l2: Cache::new(l2) }
     }
 
-    /// Touches an address through both levels; returns
+    /// Touches an address through both levels as a read; returns
     /// `(l1_miss, l2_miss)`.
     #[inline]
     pub fn access(&mut self, word_addr: usize) -> (bool, bool) {
-        let l1_miss = self.l1.access(word_addr);
-        let l2_miss = if l1_miss { self.l2.access(word_addr) } else { false };
+        self.access_rw(word_addr, false)
+    }
+
+    /// Touches an address through both levels; returns
+    /// `(l1_miss, l2_miss)`.  A write dirties the line in each level it
+    /// touches (L1 always; L2 only when L1 missed — the write-allocate
+    /// fill path).
+    #[inline]
+    pub fn access_rw(&mut self, word_addr: usize, is_write: bool) -> (bool, bool) {
+        let l1_miss = self.l1.access_rw(word_addr, is_write);
+        let l2_miss = if l1_miss { self.l2.access_rw(word_addr, is_write) } else { false };
         (l1_miss, l2_miss)
     }
 }
@@ -237,6 +298,49 @@ mod tests {
         // Not asserting exact states here — just that the API is sane and
         // L2 misses never exceed L1 misses.
         assert!(h.l2.misses() <= h.l1.misses());
+    }
+
+    #[test]
+    fn evictions_and_writebacks_are_counted() {
+        // One 2-way set: every third distinct line evicts.
+        let cfg = CacheConfig { size_words: 16, line_words: 8, ways: 2 };
+        let mut c = Cache::new(cfg);
+        assert!(c.access_rw(0, true)); // line A, dirty
+        assert!(c.access_rw(8, false)); // line B, clean
+        assert!(c.access_rw(16, false)); // evicts A (LRU, dirty) -> writeback
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.writebacks(), 1);
+        assert!(c.access_rw(24, false)); // evicts B (clean) -> no writeback
+        assert_eq!(c.evictions(), 2);
+        assert_eq!(c.writebacks(), 1);
+        // A read hit on a dirty line keeps it dirty: it still writes back
+        // when later evicted.
+        let mut d = Cache::new(cfg);
+        assert!(d.access_rw(0, true)); // A dirty
+        assert!(!d.access_rw(0, false)); // read hit: stays dirty, MRU
+        assert!(d.access_rw(8, false)); // B clean; LRU order [B, A]
+        assert!(d.access_rw(16, false)); // evicts A (dirty) -> writeback
+        assert!(d.access_rw(24, false)); // evicts B (clean)
+        assert_eq!(d.writebacks(), 1);
+        assert_eq!(d.counters().accesses(), d.hits() + d.misses());
+    }
+
+    #[test]
+    fn dirty_bit_does_not_change_hit_miss_behaviour() {
+        // Same address stream, reads vs writes: identical hit/miss totals.
+        let mut reads = Cache::new(CacheConfig::g4_l1());
+        let mut writes = Cache::new(CacheConfig::g4_l1());
+        for r in 0..4 {
+            for c in 0..512 {
+                reads.access_rw(c * 1024 + r, false);
+                writes.access_rw(c * 1024 + r, true);
+            }
+        }
+        assert_eq!(reads.hits(), writes.hits());
+        assert_eq!(reads.misses(), writes.misses());
+        assert_eq!(reads.evictions(), writes.evictions());
+        assert_eq!(reads.writebacks(), 0);
+        assert!(writes.writebacks() > 0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! trace-driven cache stalls.
 
 use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults};
+use triarch_simcore::metrics::MetricsReport;
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{CycleBreakdown, Cycles, KernelRun, SimError, Verification};
 
@@ -145,7 +146,7 @@ impl<S: TraceSink, F: FaultHook> PpcMachine<S, F> {
     pub fn store(&mut self, word_addr: usize) {
         self.instrs += 1;
         self.mem_words += 1;
-        let (_, l2) = self.hier.access(word_addr);
+        let (_, l2) = self.hier.access_rw(word_addr, true);
         if l2 {
             self.store_stall += self.cfg.l2_store_miss_penalty;
         }
@@ -170,7 +171,7 @@ impl<S: TraceSink, F: FaultHook> PpcMachine<S, F> {
     pub fn vector_store(&mut self, word_addr: usize) {
         self.instrs += 1;
         self.mem_words += self.cfg.vector_lanes as u64;
-        let (_, l2) = self.hier.access(word_addr);
+        let (_, l2) = self.hier.access_rw(word_addr, true);
         if l2 {
             self.store_stall += self.cfg.l2_store_miss_penalty;
         }
@@ -280,12 +281,25 @@ impl<S: TraceSink, F: FaultHook> PpcMachine<S, F> {
             t += cycles;
             breakdown.charge(category, Cycles::new(cycles));
         }
+        let total = breakdown.total();
+        let mut metrics = MetricsReport::new();
+        breakdown.export_metrics(&mut metrics, "ppc.cycles");
+        self.hier.l1.counters().export(&mut metrics, "ppc.l1");
+        self.hier.l2.counters().export(&mut metrics, "ppc.l2");
+        self.cfg.budget.export_metrics(&mut metrics, "ppc.budget", total.get());
+        metrics.counter("ppc.run.instructions", self.instrs);
+        metrics.counter("ppc.run.trig_calls", self.trig_calls);
+        metrics.counter("ppc.run.ops", self.ops);
+        metrics.counter("ppc.run.mem_words", self.mem_words);
+        metrics.bandwidth("ppc.run.achieved_bw", self.mem_words, total.get());
+        metrics.bandwidth("ppc.run.achieved_ops", self.ops, total.get());
         KernelRun {
-            cycles: breakdown.total(),
+            cycles: total,
             breakdown,
             ops_executed: self.ops,
             mem_words: self.mem_words,
             verification,
+            metrics,
         }
     }
 }
@@ -350,5 +364,22 @@ mod tests {
         assert!(run.breakdown.get("issue").get() > 0);
         assert!(run.breakdown.get("load-stall").get() > 0);
         assert_eq!(run.cycles, run.breakdown.total());
+    }
+
+    #[test]
+    fn finish_carries_cache_metrics() {
+        let mut m = PpcMachine::new(&PpcConfig::paper()).unwrap();
+        m.load(0); // L1+L2 miss
+        m.load(1); // L1 hit
+        m.store(0); // hit, dirties the line
+        let run = m.finish(Verification::BitExact);
+        assert_eq!(run.metrics.counter_sum("ppc.cycles."), run.cycles.get());
+        assert_eq!(run.metrics.counter_value("ppc.l1.misses"), Some(1));
+        assert_eq!(run.metrics.counter_value("ppc.l1.hits"), Some(2));
+        assert_eq!(run.metrics.counter_value("ppc.l2.misses"), Some(1));
+        assert!(run.metrics.get("ppc.l1.hit_rate").is_some());
+        assert!(run.metrics.get("ppc.l1.evictions").is_some());
+        assert!(run.metrics.get("ppc.l1.writebacks").is_some());
+        assert_eq!(run.metrics.counter_value("ppc.run.mem_words"), Some(3));
     }
 }

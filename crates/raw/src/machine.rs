@@ -7,6 +7,7 @@
 //! `max(slowest tile, DRAM-port occupancy, network occupancy)`.
 
 use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults, TransferFaults};
+use triarch_simcore::metrics::{Histogram, Metric, MetricsReport};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
     AccessPattern, CycleBreakdown, CycleBudget, Cycles, DramModel, KernelRun, SimError,
@@ -44,6 +45,17 @@ pub struct RawMachine<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     tiles: Vec<TileCounters>,
     phase_mem: u64,
     phase_mem_overhead: u64,
+    /// Cumulative issue slots across all phases (per-phase tile counters
+    /// reset at `begin_phase`; these never reset).
+    total_issue: u64,
+    /// Cumulative exposed stall cycles across all phases.
+    total_stall: u64,
+    /// Cumulative static-network words across all phases.
+    total_net_words: u64,
+    /// Number of completed phases.
+    phases: u64,
+    /// Fixed-bucket histogram of per-phase charged cycles.
+    phase_hist: Histogram,
     breakdown: CycleBreakdown,
     ops: u64,
     mem_words: u64,
@@ -97,6 +109,11 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
             tiles: vec![TileCounters::default(); cfg.tiles()],
             phase_mem: 0,
             phase_mem_overhead: 0,
+            total_issue: 0,
+            total_stall: 0,
+            total_net_words: 0,
+            phases: 0,
+            phase_hist: Histogram::cycles(),
             breakdown: CycleBreakdown::new(),
             ops: 0,
             mem_words: 0,
@@ -300,6 +317,11 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
             return Err(SimError::unsupported("end_phase without begin_phase"));
         }
         self.in_phase = false;
+        let charged_before = self.breakdown.total().get();
+        self.total_issue += self.tiles.iter().map(|t| t.issue).sum::<u64>();
+        self.total_stall += self.tiles.iter().map(|t| t.stall).sum::<u64>();
+        self.total_net_words += self.tiles.iter().map(|t| t.net_words).sum::<u64>();
+        self.phases += 1;
 
         let totals: Vec<u64> = self.tiles.iter().map(|t| t.issue + t.stall).collect();
         let max_tile = totals.iter().copied().max().unwrap_or(0);
@@ -336,6 +358,7 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
             self.charge(TRACK_TILES, "network", "static-network", Cycles::new(net_bound));
         }
         self.charge(TRACK_TILES, "startup", "phase-startup", Cycles::new(self.cfg.phase_startup));
+        self.phase_hist.observe(self.breakdown.total().get() - charged_before);
         if self.sink.is_enabled() {
             self.sink.instant(TRACK_TILES, "phase-end", self.breakdown.total().get());
         }
@@ -378,12 +401,40 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
         if self.in_phase {
             return Err(SimError::unsupported("finish with open phase"));
         }
+        let total = self.breakdown.total();
+        let mut metrics = MetricsReport::new();
+        self.breakdown.export_metrics(&mut metrics, "raw.cycles");
+        self.dram.export_metrics(&mut metrics, "raw.dram");
+        self.budget.export_metrics(&mut metrics, "raw.budget", self.spent);
+        metrics.counter("raw.net.words", self.total_net_words);
+        // Per-link occupancy: each of the mesh's tiles owns one static
+        // network link, and every link moves at most one word per cycle,
+        // so words / (tiles × cycles) is a true ≤ 1 utilization.
+        metrics.ratio(
+            "raw.net.link_util",
+            self.total_net_words,
+            (self.cfg.tiles() as u64).saturating_mul(total.get()),
+        );
+        metrics.counter("raw.tiles.issue", self.total_issue);
+        metrics.counter("raw.tiles.stall", self.total_stall);
+        metrics.ratio(
+            "raw.tiles.issue_occupancy",
+            self.total_issue,
+            (self.cfg.tiles() as u64).saturating_mul(total.get()),
+        );
+        metrics.counter("raw.phases.count", self.phases);
+        metrics.counter("raw.run.ops", self.ops);
+        metrics.counter("raw.run.mem_words", self.mem_words);
+        metrics.bandwidth("raw.run.achieved_bw", self.mem_words, total.get());
+        metrics.bandwidth("raw.run.achieved_ops", self.ops, total.get());
+        metrics.set("raw.phases.cycles", Metric::Histogram(self.phase_hist));
         Ok(KernelRun {
-            cycles: self.breakdown.total(),
+            cycles: total,
             breakdown: self.breakdown,
             ops_executed: self.ops,
             mem_words: self.mem_words,
             verification,
+            metrics,
         })
     }
 }
@@ -478,6 +529,24 @@ mod tests {
         m.end_phase(false).unwrap();
         assert!(m.breakdown_get("network") >= 50_000);
         assert_eq!(m.breakdown_get("issue"), 0);
+    }
+
+    #[test]
+    fn finish_carries_metrics() {
+        let mut m = machine();
+        m.begin_phase().unwrap();
+        m.tile_issue(0, 100).unwrap();
+        m.tile_net_words(1, 50, 2).unwrap();
+        m.count_ops(80);
+        m.end_phase(false).unwrap();
+        let run = m.finish(Verification::BitExact).unwrap();
+        assert_eq!(run.metrics.counter_sum("raw.cycles."), run.cycles.get());
+        assert_eq!(run.metrics.counter_value("raw.net.words"), Some(50));
+        assert_eq!(run.metrics.counter_value("raw.tiles.issue"), Some(100));
+        assert_eq!(run.metrics.counter_value("raw.phases.count"), Some(1));
+        assert_eq!(run.metrics.counter_value("raw.run.ops"), Some(80));
+        assert!(run.metrics.get("raw.net.link_util").is_some());
+        assert!(run.metrics.get("raw.phases.cycles").is_some());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! revisit rows (the paper's corner-turn optimizations) pay the row costs
 //! only once — exactly the effect the paper exploits.
 
+use triarch_metrics::MetricsReport;
 use triarch_trace::TraceSink;
 
 use crate::cycles::Cycles;
@@ -253,6 +254,9 @@ pub struct DramModel {
     bank_ready: Vec<u64>,
     now: u64,
     total_row_misses: u64,
+    total_bank_conflicts: u64,
+    total_words: u64,
+    total_busy: u64,
 }
 
 impl DramModel {
@@ -270,6 +274,9 @@ impl DramModel {
             now: 0,
             cfg,
             total_row_misses: 0,
+            total_bank_conflicts: 0,
+            total_words: 0,
+            total_busy: 0,
         })
     }
 
@@ -285,12 +292,52 @@ impl DramModel {
         self.total_row_misses
     }
 
+    /// Total bank conflicts — accesses that found their bank still busy
+    /// with a previous precharge/activate — since construction or the
+    /// last [`reset`](Self::reset).
+    #[must_use]
+    pub fn bank_conflicts(&self) -> u64 {
+        self.total_bank_conflicts
+    }
+
+    /// Total words moved across this interface since construction or the
+    /// last [`reset`](Self::reset).
+    #[must_use]
+    pub fn words_transferred(&self) -> u64 {
+        self.total_words
+    }
+
+    /// Total cycles this interface was busy with transfers (sum of every
+    /// transfer's `total`) since construction or the last
+    /// [`reset`](Self::reset).  With [`words_transferred`](Self::words_transferred)
+    /// this is the achieved-bandwidth primitive behind the roofline
+    /// utilization report.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.total_busy
+    }
+
+    /// Registers this interface's counters into `report` under `prefix`
+    /// (e.g. `viram.dram`): row misses, bank conflicts, words moved,
+    /// interface-busy cycles, and the achieved bandwidth over the busy
+    /// window.  Every engine calls this once from `finish()`.
+    pub fn export_metrics(&self, report: &mut MetricsReport, prefix: &str) {
+        report.counter(&format!("{prefix}.row_misses"), self.total_row_misses);
+        report.counter(&format!("{prefix}.bank_conflicts"), self.total_bank_conflicts);
+        report.counter(&format!("{prefix}.words"), self.total_words);
+        report.counter(&format!("{prefix}.busy_cycles"), self.total_busy);
+        report.bandwidth(&format!("{prefix}.achieved_bw"), self.total_words, self.total_busy);
+    }
+
     /// Closes all rows and rewinds the internal clock.
     pub fn reset(&mut self) {
         self.open_rows.iter_mut().for_each(|r| *r = None);
         self.bank_ready.iter_mut().for_each(|t| *t = 0);
         self.now = 0;
         self.total_row_misses = 0;
+        self.total_bank_conflicts = 0;
+        self.total_words = 0;
+        self.total_busy = 0;
     }
 
     /// Advances the DRAM clock by `cycles` without issuing accesses.
@@ -393,13 +440,20 @@ impl DramModel {
                     // hidden with sequential accesses"); a bank re-opened
                     // in quick succession stalls the stream.
                     let lookahead = self.cfg.t_precharge + self.cfg.t_activate;
-                    let activate_start = self.bank_ready[bank].max(t.saturating_sub(lookahead));
+                    let ready = self.bank_ready[bank];
+                    let activate_start = ready.max(t.saturating_sub(lookahead));
                     let activate_end = activate_start + self.cfg.t_precharge + self.cfg.t_activate;
+                    // Branchless: conflicts are an observability counter on
+                    // the innermost loop, so keep them off the branch
+                    // predictor's plate.
+                    self.total_bank_conflicts += u64::from(ready > t);
                     self.open_rows[bank] = Some(row);
                     self.bank_ready[bank] = activate_end;
                     group_ready = group_ready.max(activate_end);
                 } else {
-                    group_ready = group_ready.max(self.bank_ready[bank]);
+                    let ready = self.bank_ready[bank];
+                    self.total_bank_conflicts += u64::from(ready > t);
+                    group_ready = group_ready.max(ready);
                 }
             }
             t = group_ready + 1;
@@ -411,6 +465,8 @@ impl DramModel {
 
         let data_cycles = n_words.div_ceil(group) as u64;
         let total = t - start_time;
+        self.total_words += n_words as u64;
+        self.total_busy += total;
         let startup = self.cfg.t_startup;
         let overhead = total.saturating_sub(data_cycles + startup);
         Ok(DramCost {
@@ -584,6 +640,31 @@ mod tests {
         let c = a.combine(b);
         assert_eq!(c.total, Cycles::new(20));
         assert_eq!(c.row_misses, 2);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_accessors() {
+        let mut d = model(DramConfig::viram_onchip());
+        // Stride of one full row group: every access lands in the *same*
+        // bank but a *new* row, so back-to-back activates pile up on the
+        // bank and register as conflicts.
+        let c = d.transfer(0, 64, AccessPattern::Strided { stride_words: 8_192 }).unwrap();
+        assert_eq!(d.row_misses(), c.row_misses);
+        assert_eq!(d.words_transferred(), 64);
+        assert_eq!(d.busy_cycles(), c.total.get());
+        assert!(d.bank_conflicts() > 0);
+
+        let mut report = MetricsReport::new();
+        d.export_metrics(&mut report, "test.dram");
+        assert_eq!(report.counter_value("test.dram.row_misses"), Some(d.row_misses()));
+        assert_eq!(report.counter_value("test.dram.bank_conflicts"), Some(d.bank_conflicts()));
+        assert_eq!(report.counter_value("test.dram.words"), Some(64));
+        assert_eq!(report.counter_value("test.dram.busy_cycles"), Some(d.busy_cycles()));
+
+        d.reset();
+        assert_eq!(d.bank_conflicts(), 0);
+        assert_eq!(d.words_transferred(), 0);
+        assert_eq!(d.busy_cycles(), 0);
     }
 
     #[test]

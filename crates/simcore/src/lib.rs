@@ -46,6 +46,7 @@ pub mod model;
 pub mod stats;
 
 pub use triarch_faults as faults;
+pub use triarch_metrics as metrics;
 pub use triarch_trace as trace;
 
 pub use budget::CycleBudget;

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use triarch_metrics::MetricsReport;
+
 use crate::cycles::{ClockFrequency, Cycles};
 use crate::model::ThroughputModel;
 use crate::stats::CycleBreakdown;
@@ -67,6 +69,12 @@ pub struct KernelRun {
     pub mem_words: u64,
     /// Output correctness versus the reference kernel.
     pub verification: Verification,
+    /// Hardware-counter observability: rates and utilizations the
+    /// breakdown cannot express (cache hit rates, DRAM row misses,
+    /// network traffic, achieved bandwidth).  Always present; engines
+    /// populate it from counters they maintain anyway, so the cost is a
+    /// handful of map inserts per run.
+    pub metrics: MetricsReport,
 }
 
 impl KernelRun {
@@ -112,6 +120,7 @@ mod tests {
             ops_executed: 4_800,
             mem_words: 2_000,
             verification: Verification::MaxError(1e-4),
+            metrics: MetricsReport::new(),
         }
     }
 

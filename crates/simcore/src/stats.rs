@@ -106,6 +106,20 @@ impl CycleBreakdown {
         trace.iter().map(|(category, cycles)| (category, Cycles::new(cycles))).collect()
     }
 
+    /// Registers every category as a counter under
+    /// `{prefix}.{category}` in `report`.
+    ///
+    /// Every engine calls this from `finish()` with a `"<arch>.cycles"`
+    /// prefix, which establishes the metrics conservation law checked in
+    /// `tests/metrics_validation.rs`: the sum of the `<arch>.cycles.*`
+    /// counters equals [`CycleBreakdown::total`] with drift exactly zero,
+    /// because both read the same ledger.
+    pub fn export_metrics(&self, report: &mut triarch_metrics::MetricsReport, prefix: &str) {
+        for (category, cycles) in self.entries.iter() {
+            report.counter(&format!("{prefix}.{category}"), cycles.get());
+        }
+    }
+
     /// Number of distinct categories.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -185,6 +199,17 @@ mod tests {
         assert!(s.contains("memory"));
         assert!(s.contains("87.0%"));
         assert!(s.contains("total"));
+    }
+
+    #[test]
+    fn export_metrics_conserves_total() {
+        let b: CycleBreakdown =
+            [("memory", Cycles::new(870)), ("compute", Cycles::new(130))].into_iter().collect();
+        let mut report = triarch_metrics::MetricsReport::new();
+        b.export_metrics(&mut report, "viram.cycles");
+        assert_eq!(report.counter_value("viram.cycles.memory"), Some(870));
+        assert_eq!(report.counter_value("viram.cycles.compute"), Some(130));
+        assert_eq!(report.counter_sum("viram.cycles."), b.total().get());
     }
 
     #[test]

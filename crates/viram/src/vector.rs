@@ -14,6 +14,7 @@
 //! interface and the vector pipeline.
 
 use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults, TransferFaults};
+use triarch_simcore::metrics::{Histogram, Metric, MetricsReport};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
     AccessPattern, CycleBreakdown, CycleBudget, Cycles, DramModel, KernelRun, SimError,
@@ -100,6 +101,8 @@ pub struct VectorUnit<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     ops: u64,
     mem_words: u64,
     overlap: Option<OverlapAcc>,
+    /// Fixed-bucket histogram of per-transfer DRAM occupancy cycles.
+    mem_hist: Histogram,
     budget: CycleBudget,
     /// Simulated activity the watchdog counts: *all* charged cycles,
     /// including both sides of an overlap region (so a region cannot hide
@@ -150,6 +153,7 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
             ops: 0,
             mem_words: 0,
             overlap: None,
+            mem_hist: Histogram::cycles(),
             budget: cfg.budget,
             spent: 0,
             cfg: cfg.clone(),
@@ -323,6 +327,7 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
         let cursor = self.mem_cursor();
         let cost =
             self.dram.transfer_observed(addr, vl, pattern, &mut self.sink, TRACK_DRAM, cursor)?;
+        self.mem_hist.observe(cost.total.get());
         self.mem_words += vl as u64;
         self.charge(
             true,
@@ -656,12 +661,32 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
         if self.overlap.is_some() {
             return Err(SimError::unsupported("finish with open overlap region"));
         }
+        let total = self.breakdown.total();
+        let mut metrics = MetricsReport::new();
+        self.breakdown.export_metrics(&mut metrics, "viram.cycles");
+        self.dram.export_metrics(&mut metrics, "viram.dram");
+        self.budget.export_metrics(&mut metrics, "viram.budget", self.spent);
+        metrics.counter("viram.tlb.misses", self.tlb.misses());
+        metrics.counter("viram.run.ops", self.ops);
+        metrics.counter("viram.run.mem_words", self.mem_words);
+        metrics.counter("viram.run.hidden_cycles", self.hidden.get());
+        metrics.ratio(
+            "viram.mem.ag_occupancy",
+            self.dram.words_transferred(),
+            self.dram
+                .busy_cycles()
+                .saturating_mul(u64::from(self.dram.config().seq_words_per_cycle)),
+        );
+        metrics.bandwidth("viram.run.achieved_bw", self.mem_words, total.get());
+        metrics.bandwidth("viram.run.achieved_ops", self.ops, total.get());
+        metrics.set("viram.mem.xfer_cycles", Metric::Histogram(self.mem_hist));
         Ok(KernelRun {
-            cycles: self.breakdown.total(),
+            cycles: total,
             breakdown: self.breakdown,
             ops_executed: self.ops,
             mem_words: self.mem_words,
             verification,
+            metrics,
         })
     }
 }
@@ -779,5 +804,12 @@ mod tests {
         assert_eq!(run.ops_executed, 64);
         assert_eq!(run.mem_words, 64);
         assert!(run.cycles > Cycles::ZERO);
+        // Metrics conservation: the viram.cycles.* counters mirror the
+        // breakdown exactly, and the genuine counters are present.
+        assert_eq!(run.metrics.counter_sum("viram.cycles."), run.cycles.get());
+        assert_eq!(run.metrics.counter_value("viram.run.ops"), Some(64));
+        assert_eq!(run.metrics.counter_value("viram.run.mem_words"), Some(64));
+        assert!(run.metrics.get("viram.dram.achieved_bw").is_some());
+        assert!(run.metrics.get("viram.mem.xfer_cycles").is_some());
     }
 }
