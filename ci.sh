@@ -22,6 +22,10 @@ echo "== cargo clippy triarch-metrics (deny unwrap/expect) =="
 cargo clippy -p triarch-metrics --all-targets -- -D warnings \
   -D clippy::unwrap_used -D clippy::expect_used
 
+echo "== cargo clippy triarch-profile (deny unwrap/expect) =="
+cargo clippy -p triarch-profile --all-targets -- -D warnings \
+  -D clippy::unwrap_used -D clippy::expect_used
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
@@ -73,6 +77,46 @@ if [ "$drifts" != "15" ]; then
 fi
 test -s target/ci-metrics/metrics.prom || {
   echo "metrics.prom was not written" >&2
+  exit 1
+}
+
+echo "== flame smoke (fold drift 0 on all 15 cells) =="
+fl="$(cargo run --release -q -p triarch-bench --bin repro -- flame target/ci-flame --small --jobs 2 2>/dev/null)"
+fd="$(echo "$fl" | grep -c "fold drift 0$" || true)"
+if [ "$fd" != "15" ]; then
+  echo "expected 15 cells with fold drift 0, saw $fd" >&2
+  echo "$fl" >&2
+  exit 1
+fi
+test -s target/ci-flame/viram-corner-turn.folded || {
+  echo "collapsed-stack files were not written" >&2
+  exit 1
+}
+
+echo "== HTML report smoke (all 15 cells, byte-identical regeneration) =="
+cargo run --release -q -p triarch-bench --bin repro -- \
+  report target/ci-report --small --campaigns 2 --jobs 2 --quiet >/dev/null
+cargo run --release -q -p triarch-bench --bin repro -- \
+  report target/ci-report-again --small --campaigns 2 --jobs 1 --quiet >/dev/null
+for arch in PPC Altivec VIRAM Imagine Raw; do
+  for kernel in "Corner Turn" CSLC "Beam Steering"; do
+    grep -q "$arch / $kernel" target/ci-report/report.html || {
+      echo "report.html is missing cell $arch / $kernel" >&2
+      exit 1
+    }
+  done
+done
+if ! cmp -s target/ci-report/report.html target/ci-report-again/report.html; then
+  echo "report.html is not byte-identical across --jobs 2 and --jobs 1 runs" >&2
+  exit 1
+fi
+
+echo "== profdiff self-diff is empty on the committed artifact =="
+pd="$(cargo run --release -q -p triarch-bench --bin repro -- \
+  profdiff BENCH_table3.json BENCH_table3.json 2>/dev/null)"
+echo "$pd" | grep -q "profdiff: no differences" || {
+  echo "profdiff of the committed artifact against itself found differences" >&2
+  echo "$pd" >&2
   exit 1
 }
 

@@ -21,14 +21,25 @@
 //! `|fresh - baseline| <= tolerance * baseline` (the simulators are
 //! deterministic, so the default tolerance is 0); `wall_seconds`,
 //! `jobs`, and `git_rev` are informational and never gated (host speed
-//! and revision legitimately vary).
+//! and revision legitimately vary). When a cell's cycles drift outside
+//! the band, the violation message names the top regressed breakdown
+//! categories (via the [`triarch_profile::diff`] differential
+//! profiler), so a perf-gate failure points at *where* the cycles went
+//! instead of a bare total mismatch.
+//!
+//! Schema history: v1 carried cycles + roofline utilizations per cell;
+//! v2 (current) adds the per-cell `breakdown` object (category →
+//! cycles, the engine's `CycleBreakdown` ledger) that powers the
+//! differential attribution.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use triarch_metrics::fmt_f64;
+use triarch_profile::{CellProfile, ProfileDiff};
 
 /// Version stamp of the `BENCH_table3.json` layout.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One (machine, kernel) record of the benchmark artifact.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +61,22 @@ pub struct BenchCell {
     pub gflops: f64,
     /// Achieved GB/s across the limiting memory level.
     pub gbytes_per_s: f64,
+    /// Per-breakdown-category cycles (the engine's `CycleBreakdown`
+    /// ledger; categories sum to `cycles` exactly for every engine).
+    pub breakdown: BTreeMap<String, u64>,
+}
+
+impl BenchCell {
+    /// The cell as a differential-profiler input.
+    #[must_use]
+    pub fn profile(&self) -> CellProfile {
+        CellProfile {
+            arch: self.arch.clone(),
+            kernel: self.kernel.clone(),
+            cycles: self.cycles,
+            categories: self.breakdown.clone(),
+        }
+    }
 }
 
 /// The whole benchmark artifact.
@@ -90,7 +117,8 @@ impl BenchReport {
                 "    {{\"arch\": \"{}\", \"kernel\": \"{}\", \"cycles\": {}, \
                  \"ops\": {}, \"mem_words\": {}, \
                  \"util_onchip\": {}, \"util_offchip\": {}, \"util_compute\": {}, \
-                 \"util_bound\": {}, \"gflops\": {}, \"gbytes_per_s\": {}}}{comma}",
+                 \"util_bound\": {}, \"gflops\": {}, \"gbytes_per_s\": {}, \
+                 \"breakdown\": {}}}{comma}",
                 escape(&c.arch),
                 escape(&c.kernel),
                 c.cycles,
@@ -102,6 +130,7 @@ impl BenchReport {
                 fmt_f64(c.util[3]),
                 fmt_f64(c.gflops),
                 fmt_f64(c.gbytes_per_s),
+                render_breakdown(&c.breakdown),
             );
         }
         out.push_str("  ]\n}\n");
@@ -143,14 +172,58 @@ impl BenchReport {
                 ],
                 gflops: get_f64(c, "gflops").map_err(|e| format!("cells[{i}]: {e}"))?,
                 gbytes_per_s: get_f64(c, "gbytes_per_s").map_err(|e| format!("cells[{i}]: {e}"))?,
+                breakdown: get_breakdown(c).map_err(|e| format!("cells[{i}]: {e}"))?,
             });
         }
         Ok(BenchReport { schema_version, git_rev, workload, jobs, wall_seconds, cells })
     }
 }
 
+/// Renders a breakdown map as a single-line JSON object in stable
+/// (BTreeMap) key order.
+fn render_breakdown(breakdown: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from("{");
+    for (i, (category, cycles)) in breakdown.iter().enumerate() {
+        if i != 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {cycles}", escape(category));
+    }
+    out.push('}');
+    out
+}
+
+/// Parses the per-cell `breakdown` object (category → cycle counter).
+fn get_breakdown(obj: &[(String, Json)]) -> Result<BTreeMap<String, u64>, String> {
+    let fields = get(obj, "breakdown")?.as_obj().ok_or("field 'breakdown' must be an object")?;
+    let mut out = BTreeMap::new();
+    for (category, value) in fields {
+        match value {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => {
+                out.insert(category.clone(), *n as u64);
+            }
+            _ => {
+                return Err(format!(
+                    "breakdown category '{category}' must be a non-negative integer"
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The report's cells as differential-profiler inputs.
+#[must_use]
+pub fn profiles(report: &BenchReport) -> Vec<CellProfile> {
+    report.cells.iter().map(BenchCell::profile).collect()
+}
+
 /// Compares a fresh report against a baseline with a relative tolerance
 /// on per-cell cycles. Returns one message per violation (empty = pass).
+///
+/// A cycle-drift violation embeds the top-3 regressed breakdown
+/// categories from the differential profiler, so the perf gate names
+/// *which* attribution category moved.
 #[must_use]
 pub fn compare(baseline: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Vec<String> {
     let mut violations = Vec::new();
@@ -177,10 +250,30 @@ pub fn compare(baseline: &BenchReport, fresh: &BenchReport, tolerance: f64) -> V
         let allowed = tolerance * base.cycles as f64;
         let drift = new.cycles.abs_diff(base.cycles) as f64;
         if drift > allowed {
-            violations.push(format!(
+            let mut message = format!(
                 "{} / {}: cycles {} vs baseline {} (drift {drift:.0} > allowed {allowed:.0})",
                 base.arch, base.kernel, new.cycles, base.cycles
-            ));
+            );
+            // Attribution: which breakdown categories moved?
+            let cell_diff = ProfileDiff::compute(&[base.profile()], &[new.profile()]);
+            if let Some(cell) = cell_diff.cell(&base.profile().label()) {
+                let regressed = cell.top_regressed(3);
+                if regressed.is_empty() {
+                    if let Some(best) = cell.categories.first() {
+                        let _ = write!(
+                            message,
+                            "; biggest category drop: {} {}",
+                            best.name,
+                            best.describe()
+                        );
+                    }
+                } else {
+                    let movers: Vec<String> =
+                        regressed.iter().map(|c| format!("{} {}", c.name, c.describe())).collect();
+                    let _ = write!(message, "; top regressed categories: {}", movers.join(", "));
+                }
+            }
+            violations.push(message);
         }
     }
     for new in &fresh.cells {
@@ -470,6 +563,9 @@ mod tests {
                     util: [0.484, 0.0, 0.0, 0.484],
                     gflops: 0.0,
                     gbytes_per_s: 3.1,
+                    breakdown: [(String::from("memory"), 400_000), (String::from("dma"), 154_432)]
+                        .into_iter()
+                        .collect(),
                 },
                 BenchCell {
                     arch: String::from("Raw"),
@@ -480,6 +576,12 @@ mod tests {
                     util: [0.1, 0.2, 0.3, 0.3],
                     gflops: 1.5,
                     gbytes_per_s: 0.5,
+                    breakdown: [
+                        (String::from("dram-port"), 600),
+                        (String::from("tile-issue"), 400),
+                    ]
+                    .into_iter()
+                    .collect(),
                 },
             ],
         }
@@ -521,6 +623,52 @@ mod tests {
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("Raw / CSLC"), "{violations:?}");
         assert!(compare(&baseline, &fresh, 0.15).is_empty());
+    }
+
+    #[test]
+    fn compare_names_the_regressed_category() {
+        let baseline = sample();
+        let mut fresh = sample();
+        fresh.cells[1].cycles += 100;
+        *fresh.cells[1].breakdown.get_mut("dram-port").unwrap() += 100;
+        let violations = compare(&baseline, &fresh, 0.0);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("top regressed categories: dram-port +100 (+16.67%)"),
+            "{violations:?}"
+        );
+
+        // A pure improvement names the biggest dropper instead.
+        let mut faster = sample();
+        faster.cells[1].cycles -= 100;
+        *faster.cells[1].breakdown.get_mut("dram-port").unwrap() -= 100;
+        let violations = compare(&baseline, &faster, 0.0);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("biggest category drop: dram-port -100 (-16.67%)"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn breakdown_schema_is_strict() {
+        let report = sample();
+        let text = report.render().replace("\"dram-port\": 600", "\"dram-port\": -1");
+        assert!(BenchReport::parse(&text).unwrap_err().contains("dram-port"));
+        let text = report
+            .render()
+            .replace(", \"breakdown\": {\"dram-port\": 600, \"tile-issue\": 400}", "");
+        assert!(BenchReport::parse(&text).unwrap_err().contains("breakdown"));
+    }
+
+    #[test]
+    fn profiles_carry_the_breakdown() {
+        let report = sample();
+        let cells = profiles(&report);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].label(), "VIRAM/Corner Turn");
+        assert_eq!(cells[0].categories.get("memory"), Some(&400_000));
+        assert!(ProfileDiff::compute(&cells, &cells).is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! Accepted selectors: `table1 table2 table3 table4 figure8 figure9
 //! breakdowns altivec claims ablations trace faultsweep dse metrics
-//! bench`.
+//! bench flame report profdiff`.
 //!
 //! `trace [dir]` runs every machine × kernel pair with event tracing
 //! enabled and writes one Chrome `trace_event` JSON file and one CSV per
@@ -20,14 +20,38 @@
 //! Prometheus-style text dump (`metrics.prom`). The per-cell cycle
 //! conservation drift (metric counters vs the breakdown ledger) is
 //! printed per cell and is exactly 0 by construction; the roofline
-//! utilization scorecard follows. `--small` substitutes the reduced
-//! workload set.
+//! utilization scorecard follows. The combined dump also carries the
+//! informational `host.*` self-profiling gauges (wall seconds and
+//! simulated-cycles-per-host-second per cell) — host numbers never
+//! appear in the deterministic per-cell JSON artifacts. `--small`
+//! substitutes the reduced workload set.
 //!
 //! `bench [file] [--json]` times the Table 3 batch. With `--json` it
 //! writes the schema-versioned benchmark artifact (default
 //! `BENCH_table3.json`): wall time, git revision, and per-cell cycles +
-//! utilizations. The committed artifact at the repo root is the CI
-//! perf-gate baseline; see the `perfgate` binary.
+//! utilizations + breakdown ledger. The committed artifact at the repo
+//! root is the CI perf-gate baseline; see the `perfgate` binary.
+//!
+//! `flame [dir]` runs the grid with a folding trace sink attached and
+//! writes, per cell, a collapsed-stack profile (`<arch>-<kernel>.folded`,
+//! the `arch;kernel;category;span cycles` format consumed by speedscope,
+//! inferno, and `flamegraph.pl`) plus a self-contained inline-SVG
+//! flamegraph (`.svg`) under `dir` (default `target/flame`). Fold totals
+//! re-add to each engine's reported cycles with drift exactly 0.
+//!
+//! `report [dir]` builds the single self-contained HTML attribution
+//! report (`report.html` under `dir`, default `target/report`): Tables
+//! 1–4 vs the published numbers, Figures 8–9, stacked §4.2–§4.4
+//! breakdown bars, the roofline scorecard, the fault-sweep outcome
+//! table, and per-cell flamegraphs. The file is byte-identical across
+//! runs and `--jobs` worker counts; host self-profiling goes to stderr
+//! only.
+//!
+//! `profdiff <a.json> <b.json>` diffs two bench artifacts cell-by-cell
+//! and category-by-category: absolute + relative cycle deltas, the
+//! top regressed breakdown categories, and a one-line narrative per
+//! changed cell. Diffing an artifact against itself prints no
+//! differences.
 //!
 //! `faultsweep [--seed S] [--campaigns N] [--small]` runs every machine ×
 //! kernel pair under `N` seeded fault-injection campaigns and prints the
@@ -47,10 +71,15 @@
 //! work-stealing pool; stdout is byte-identical at any worker count
 //! because results are always assembled in submission order. `--jobs 1`
 //! bypasses the pool entirely. The default is the machine's available
-//! parallelism; pool throughput reports go to stderr.
+//! parallelism; pool throughput reports go to stderr. `--quiet` (or
+//! `TRIARCH_QUIET=1`) suppresses the informational stderr lines — pool
+//! throughput, progress messages, and host self-profiling summaries —
+//! without changing stdout; the same statistics remain available as
+//! `pool.*` and `host.*` gauges.
 //!
 //! Unknown selectors or malformed flags exit with status 2 and a
-//! one-line diagnostic; simulation errors exit with status 1.
+//! one-line diagnostic; simulation errors and unwritable output paths
+//! exit with status 1.
 
 use std::env;
 use std::fs;
@@ -61,9 +90,11 @@ use std::time::{Duration, Instant};
 use triarch_bench::benchjson::{self, BenchCell, BenchReport, SCHEMA_VERSION};
 use triarch_core::arch::Architecture;
 use triarch_core::experiments::Table3;
+use triarch_core::htmlreport::{self, FoldedCell};
 use triarch_core::roofline::Scorecard;
 use triarch_core::{ablations, dse, experiments, faultsweep};
 use triarch_kernels::{Kernel, WorkloadSet};
+use triarch_profile::{flamegraph_svg, HostProf, ProfileDiff};
 use triarch_simcore::metrics::MetricsReport;
 use triarch_simcore::trace::{export, AggregateSink, RingSink, TeeSink};
 
@@ -71,7 +102,7 @@ use triarch_simcore::trace::{export, AggregateSink, RingSink, TeeSink};
 const RING_CAPACITY: usize = 1 << 18;
 
 /// Every selector the CLI accepts (flags are parsed separately).
-const SELECTORS: [&str; 15] = [
+const SELECTORS: [&str; 18] = [
     "table1",
     "table2",
     "table3",
@@ -87,6 +118,9 @@ const SELECTORS: [&str; 15] = [
     "dse",
     "metrics",
     "bench",
+    "flame",
+    "report",
+    "profdiff",
 ];
 
 /// Parsed command line.
@@ -97,10 +131,16 @@ struct Options {
     trace_dir: String,
     /// Output directory for `metrics`.
     metrics_dir: String,
+    /// Output directory for `flame`.
+    flame_dir: String,
+    /// Output directory for `report`.
+    report_dir: String,
     /// Output path for `bench --json`.
     bench_path: String,
     /// Whether `bench` writes the JSON artifact (`--json`).
     bench_json: bool,
+    /// The two artifact paths for `profdiff`.
+    profdiff: Option<(String, String)>,
     /// Fault-sweep seed (`--seed`).
     seed: u64,
     /// Fault-sweep campaigns per machine × kernel pair (`--campaigns`).
@@ -108,6 +148,9 @@ struct Options {
     /// Use the reduced workload set for the fault sweep and DSE
     /// (`--small`).
     small: bool,
+    /// Suppress informational stderr output (`--quiet` or
+    /// `TRIARCH_QUIET=1`); stdout is unaffected.
+    quiet: bool,
     /// Pool workers (`--jobs`); resolved from `TRIARCH_JOBS` or the
     /// machine's available parallelism when absent.
     jobs: usize,
@@ -121,11 +164,15 @@ impl Options {
             selectors: Vec::new(),
             trace_dir: String::from("target/traces"),
             metrics_dir: String::from("target/metrics"),
+            flame_dir: String::from("target/flame"),
+            report_dir: String::from("target/report"),
             bench_path: String::from("BENCH_table3.json"),
             bench_json: false,
+            profdiff: None,
             seed: triarch_bench::SEED,
             campaigns: 8,
             small: false,
+            quiet: triarch_pool::quiet_from_env(),
             jobs: triarch_pool::jobs_from_env()?,
         };
         let mut i = 0;
@@ -156,7 +203,30 @@ impl Options {
                     opts.small = true;
                     i += 1;
                 }
-                "trace" | "metrics" | "bench" => {
+                "--quiet" => {
+                    opts.quiet = true;
+                    i += 1;
+                }
+                "profdiff" => {
+                    let free =
+                        |s: &&String| !s.starts_with("--") && !SELECTORS.contains(&s.as_str());
+                    let a = args.get(i + 1).filter(free);
+                    let b = args.get(i + 2).filter(free);
+                    match (a, b) {
+                        (Some(a), Some(b)) => {
+                            opts.profdiff = Some((a.clone(), b.clone()));
+                            opts.selectors.push(String::from(arg));
+                            i += 3;
+                        }
+                        _ => {
+                            return Err(String::from(
+                                "profdiff requires two bench-artifact paths \
+                                 (profdiff <a.json> <b.json>)",
+                            ));
+                        }
+                    }
+                }
+                "trace" | "metrics" | "bench" | "flame" | "report" => {
                     opts.selectors.push(String::from(arg));
                     // An optional output path may follow.
                     if let Some(next) = args.get(i + 1) {
@@ -164,6 +234,8 @@ impl Options {
                             match arg {
                                 "trace" => opts.trace_dir.clone_from(next),
                                 "metrics" => opts.metrics_dir.clone_from(next),
+                                "flame" => opts.flame_dir.clone_from(next),
+                                "report" => opts.report_dir.clone_from(next),
                                 _ => opts.bench_path.clone_from(next),
                             }
                             i += 1;
@@ -196,13 +268,9 @@ impl Options {
     /// Whether `name` should run: explicitly selected, or (for exhibits
     /// that participate in the run-everything default) no selector given.
     fn want(&self, name: &str) -> bool {
-        self.explicit(name)
-            || (self.selectors.is_empty()
-                && name != "trace"
-                && name != "faultsweep"
-                && name != "dse"
-                && name != "metrics"
-                && name != "bench")
+        const EXPLICIT_ONLY: [&str; 8] =
+            ["trace", "faultsweep", "dse", "metrics", "bench", "flame", "report", "profdiff"];
+        self.explicit(name) || (self.selectors.is_empty() && !EXPLICIT_ONLY.contains(&name))
     }
 
     /// Whether `name` was explicitly selected on the command line.
@@ -218,9 +286,56 @@ fn slug(name: &str) -> String {
         .collect()
 }
 
+/// The `<arch>-<kernel>` file-name base for a grid cell.
+fn cell_base(arch: Architecture, kernel: Kernel) -> String {
+    format!("{}-{}", slug(arch.name()), slug(kernel.name()))
+}
+
+/// Creates `dir` (and any missing parents), mapping failures — an
+/// unwritable parent, a plain file squatting on the path — to a
+/// one-line message naming the directory instead of a bare I/O error.
+fn ensure_dir(dir: &Path) -> Result<(), String> {
+    fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create output directory '{}': {e}", dir.display()))
+}
+
+/// Writes `contents` to `path`, naming the path in any failure.
+fn write_file(path: &Path, contents: &str) -> Result<(), String> {
+    fs::write(path, contents).map_err(|e| format!("cannot write '{}': {e}", path.display()))
+}
+
+/// Reads and parses a bench artifact, naming the path in any failure.
+fn read_artifact(path: &str) -> Result<BenchReport, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read bench artifact '{path}': {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("bench artifact '{path}': {e}"))
+}
+
+/// Runs the grid with a folding sink attached and reports pool stats.
+fn collect_folds(
+    opts: &Options,
+    what: &str,
+) -> Result<(Vec<FoldedCell>, WorkloadSet, &'static str), Box<dyn std::error::Error>> {
+    let (workloads, kind) = select_workloads(opts);
+    if !opts.quiet {
+        eprintln!("{what} ({kind} workloads) ...");
+    }
+    let (folds, stats) = htmlreport::collect_folds_jobs(&workloads, opts.jobs)?;
+    if !opts.quiet {
+        eprintln!("{}", stats.render());
+    }
+    Ok((folds, workloads, kind))
+}
+
+/// Rebuilds a [`Table3`] from already-simulated folded cells.
+fn table_from_folds(folds: &[FoldedCell]) -> Table3 {
+    Table3::from_runs(folds.iter().map(|c| ((c.arch, c.kernel), c.run.clone())).collect())
+}
+
 /// Runs every machine × kernel pair traced and writes JSON + CSV files.
-fn dump_traces(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
-    fs::create_dir_all(dir)?;
+fn dump_traces(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new(&opts.trace_dir);
+    ensure_dir(dir)?;
     let workloads = triarch_bench::paper_workloads();
     println!("== Cycle-attribution traces ({}) ==", dir.display());
     for arch in Architecture::ALL {
@@ -233,9 +348,12 @@ fn dump_traces(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
             let events = ring.into_events();
             let trace = agg.into_breakdown();
 
-            let base = format!("{}-{}", slug(arch.name()), slug(kernel.name()));
-            fs::write(dir.join(format!("{base}.trace.json")), export::chrome_trace_json(&events))?;
-            fs::write(dir.join(format!("{base}.csv")), export::csv(&events))?;
+            let base = cell_base(arch, kernel);
+            write_file(
+                &dir.join(format!("{base}.trace.json")),
+                &export::chrome_trace_json(&events),
+            )?;
+            write_file(&dir.join(format!("{base}.csv")), &export::csv(&events))?;
 
             // Trace-vs-breakdown agreement: counted spans must reproduce
             // the engine's own tally.
@@ -263,14 +381,18 @@ fn run_faultsweep(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         triarch_bench::paper_workloads()
     };
-    eprintln!(
-        "running fault sweep: seed {}, {} campaigns, {} workloads ...",
-        opts.seed,
-        opts.campaigns,
-        if opts.small { "small" } else { "paper" },
-    );
+    if !opts.quiet {
+        eprintln!(
+            "running fault sweep: seed {}, {} campaigns, {} workloads ...",
+            opts.seed,
+            opts.campaigns,
+            if opts.small { "small" } else { "paper" },
+        );
+    }
     let (table, stats) = faultsweep::sweep_jobs(&workloads, opts.seed, opts.campaigns, opts.jobs)?;
-    eprintln!("{}", stats.render());
+    if !opts.quiet {
+        eprintln!("{}", stats.render());
+    }
     println!("== Fault-injection sweep ==");
     println!("{}", table.render());
     Ok(())
@@ -283,14 +405,18 @@ fn run_dse(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         triarch_bench::paper_workloads()
     };
-    eprintln!(
-        "running design-space sweep: {} design points x {} kernels, {} workloads ...",
-        dse::points().len(),
-        Kernel::ALL.len(),
-        if opts.small { "small" } else { "paper" },
-    );
+    if !opts.quiet {
+        eprintln!(
+            "running design-space sweep: {} design points x {} kernels, {} workloads ...",
+            dse::points().len(),
+            Kernel::ALL.len(),
+            if opts.small { "small" } else { "paper" },
+        );
+    }
     let (report, stats) = dse::sweep(&workloads, opts.jobs)?;
-    eprintln!("{}", stats.render());
+    if !opts.quiet {
+        eprintln!("{}", stats.render());
+    }
     println!("== Design-space exploration ==");
     println!("{}", report.render());
     println!("== Section 4 attribution findings ==");
@@ -321,36 +447,115 @@ fn cycles_prefix(arch: Architecture) -> &'static str {
 /// Runs the grid and writes per-cell metrics JSON + a Prometheus dump.
 fn run_metrics(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let dir = Path::new(&opts.metrics_dir);
-    fs::create_dir_all(dir)?;
-    let (workloads, kind) = select_workloads(opts);
-    eprintln!("collecting hardware-counter metrics ({kind} workloads) ...");
-    let (table3, stats) = experiments::table3_jobs(&workloads, opts.jobs)?;
-    eprintln!("{}", stats.render());
+    ensure_dir(dir)?;
+    let (folds, workloads, _) = collect_folds(opts, "collecting hardware-counter metrics")?;
+    let table3 = table_from_folds(&folds);
     let scorecard = Scorecard::compute(&table3, &workloads)?;
 
     println!("== Hardware-counter metrics ({}) ==", dir.display());
     let mut combined = MetricsReport::new();
+    let mut prof = HostProf::new();
     let mut cells = 0usize;
-    for (arch, kernel, run) in table3.iter() {
+    for cell in &folds {
+        let run = &cell.run;
         let mut report = run.metrics.clone();
-        scorecard.cell(arch, kernel).export_metrics(&mut report);
-        let base = format!("{}-{}", slug(arch.name()), slug(kernel.name()));
-        fs::write(dir.join(format!("{base}.metrics.json")), report.render_json())?;
+        scorecard.cell(cell.arch, cell.kernel).export_metrics(&mut report);
+        let base = cell_base(cell.arch, cell.kernel);
+        write_file(&dir.join(format!("{base}.metrics.json")), &report.render_json())?;
         for (name, metric) in report.iter() {
             combined.set(&format!("{base}.{name}"), metric.clone());
         }
         // Conservation law: the exported cycle-category counters must
         // re-add to the engine's total cycle count exactly.
-        let counted = report.counter_sum(cycles_prefix(arch));
+        let counted = report.counter_sum(cycles_prefix(cell.arch));
         let drift = counted.abs_diff(run.cycles.get());
         println!("  {base}: {} metrics, cycle conservation drift {drift}", report.len());
+        prof.record_cell(&base, cell.wall, run.cycles.get());
         cells += 1;
     }
-    fs::write(dir.join("metrics.prom"), combined.render_prometheus())?;
+    // Host self-profiling gauges are informational and land only in the
+    // combined dump; the per-cell JSON artifacts stay deterministic.
+    prof.export(&mut combined);
+    write_file(&dir.join("metrics.prom"), &combined.render_prometheus())?;
     println!("  wrote {cells} per-cell JSON reports + metrics.prom");
     println!();
     println!("== Roofline utilization scorecard ==");
     println!("{}", scorecard.render());
+    if !opts.quiet {
+        eprintln!("{}", prof.render());
+    }
+    Ok(())
+}
+
+/// Writes per-cell collapsed stacks + SVG flamegraphs under `flame_dir`.
+fn run_flame(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new(&opts.flame_dir);
+    ensure_dir(dir)?;
+    let (folds, _, _) = collect_folds(opts, "folding trace spans into flamegraphs")?;
+    println!("== Flamegraphs ({}) ==", dir.display());
+    for cell in &folds {
+        let base = cell_base(cell.arch, cell.kernel);
+        write_file(
+            &dir.join(format!("{base}.folded")),
+            &cell.fold.render_collapsed(cell.arch.name(), cell.kernel.name()),
+        )?;
+        write_file(
+            &dir.join(format!("{base}.svg")),
+            &flamegraph_svg(cell.arch.name(), cell.kernel.name(), &cell.fold),
+        )?;
+        println!("  {base}: {} cycles, fold drift {}", cell.run.cycles.get(), cell.fold_drift(),);
+    }
+    println!("  wrote {} folded stacks + SVG flamegraphs", folds.len());
+    println!();
+    Ok(())
+}
+
+/// Builds the self-contained HTML attribution report.
+fn run_report(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new(&opts.report_dir);
+    ensure_dir(dir)?;
+    let mut prof = HostProf::new();
+    let t0 = Instant::now();
+    let (folds, workloads, kind) = collect_folds(opts, "building the HTML attribution report")?;
+    prof.record_phase("simulate-grid", t0.elapsed());
+    for cell in &folds {
+        prof.record_cell(&cell_base(cell.arch, cell.kernel), cell.wall, cell.run.cycles.get());
+    }
+    let table3 = table_from_folds(&folds);
+    let scorecard = prof.time_phase("scorecard", || Scorecard::compute(&table3, &workloads))?;
+    let (sweep, sweep_stats) = prof.time_phase("faultsweep", || {
+        faultsweep::sweep_jobs(&workloads, opts.seed, opts.campaigns, opts.jobs)
+    })?;
+    if !opts.quiet {
+        eprintln!("{}", sweep_stats.render());
+    }
+    let inputs = htmlreport::ReportInputs {
+        table3: &table3,
+        scorecard: &scorecard,
+        sweep: &sweep,
+        folds: &folds,
+        workloads: &workloads,
+        workload_kind: kind,
+    };
+    let html = prof.time_phase("render-html", || htmlreport::render(&inputs))?;
+    let path = dir.join("report.html");
+    write_file(&path, &html)?;
+    println!("== HTML report ==");
+    println!("  wrote {} ({} cells, {} bytes)", path.display(), folds.len(), html.len());
+    println!();
+    if !opts.quiet {
+        eprintln!("{}", prof.render());
+    }
+    Ok(())
+}
+
+/// Diffs two bench artifacts cell-by-cell and category-by-category.
+fn run_profdiff(a_path: &str, b_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let a = read_artifact(a_path)?;
+    let b = read_artifact(b_path)?;
+    let diff = ProfileDiff::compute(&benchjson::profiles(&a), &benchjson::profiles(&b));
+    println!("== Differential profile: {a_path} -> {b_path} ==");
+    println!("{}", diff.render());
     Ok(())
 }
 
@@ -375,6 +580,11 @@ fn bench_report(
                 util: [c.onchip_util, c.offchip_util, c.compute_util, c.bound_util],
                 gflops: c.achieved_gflops,
                 gbytes_per_s: c.achieved_gbytes,
+                breakdown: run
+                    .breakdown
+                    .iter()
+                    .map(|(category, cycles)| (category.to_string(), cycles.get()))
+                    .collect(),
             }
         })
         .collect();
@@ -391,15 +601,19 @@ fn bench_report(
 /// Times the Table 3 batch; with `--json`, writes the bench artifact.
 fn run_bench(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let (workloads, kind) = select_workloads(opts);
-    eprintln!("benchmarking the Table 3 grid ({kind} workloads) ...");
+    if !opts.quiet {
+        eprintln!("benchmarking the Table 3 grid ({kind} workloads) ...");
+    }
     let t0 = Instant::now();
     let (table3, stats) = experiments::table3_jobs(&workloads, opts.jobs)?;
     let wall = t0.elapsed();
-    eprintln!("{}", stats.render());
+    if !opts.quiet {
+        eprintln!("{}", stats.render());
+    }
     let scorecard = Scorecard::compute(&table3, &workloads)?;
     let report = bench_report(&table3, &scorecard, kind, opts.jobs, wall);
     if opts.bench_json {
-        fs::write(&opts.bench_path, report.render())?;
+        write_file(Path::new(&opts.bench_path), &report.render())?;
         println!("== Bench ==");
         println!(
             "  wrote {} (schema v{SCHEMA_VERSION}, {} cells, {kind} workloads)",
@@ -411,12 +625,14 @@ fn run_bench(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         println!("== Bench: Table 3 (kilocycles) ==");
         println!("{}", table3.render());
     }
-    eprintln!(
-        "bench: wall {:.3}s on {} workers (git {})",
-        wall.as_secs_f64(),
-        opts.jobs,
-        report.git_rev,
-    );
+    if !opts.quiet {
+        eprintln!(
+            "bench: wall {:.3}s on {} workers (git {})",
+            wall.as_secs_f64(),
+            opts.jobs,
+            report.git_rev,
+        );
+    }
     Ok(())
 }
 
@@ -433,7 +649,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     // `trace [dir]` is explicit-only (it writes files), so it does not
     // participate in the run-everything default.
     if opts.explicit("trace") {
-        dump_traces(Path::new(&opts.trace_dir))?;
+        dump_traces(opts)?;
     }
 
     // `faultsweep` is explicit-only too: it is a study of its own, not a
@@ -452,6 +668,19 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         run_metrics(opts)?;
     }
 
+    // `flame [dir]` and `report [dir]` write files: explicit-only.
+    if opts.explicit("flame") {
+        run_flame(opts)?;
+    }
+    if opts.explicit("report") {
+        run_report(opts)?;
+    }
+
+    // `profdiff` reads two artifacts the caller names explicitly.
+    if let Some((a, b)) = &opts.profdiff {
+        run_profdiff(a, b)?;
+    }
+
     // `bench` measures host wall time (and optionally writes the
     // artifact); it never joins the run-everything default.
     if opts.explicit("bench") {
@@ -466,10 +695,14 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    eprintln!("running all machines on paper-sized workloads ...");
+    if !opts.quiet {
+        eprintln!("running all machines on paper-sized workloads ...");
+    }
     let workloads = triarch_bench::paper_workloads();
     let (table3, stats) = experiments::table3_jobs(&workloads, opts.jobs)?;
-    eprintln!("{}", stats.render());
+    if !opts.quiet {
+        eprintln!("{}", stats.render());
+    }
 
     if opts.want("table3") {
         println!("== Table 3: experimental results (kilocycles) ==");
@@ -512,7 +745,9 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if opts.want("ablations") {
         println!("== Ablations ==");
         let (report, stats) = ablations::render_all_jobs(&workloads, opts.jobs)?;
-        eprintln!("{}", stats.render());
+        if !opts.quiet {
+            eprintln!("{}", stats.render());
+        }
         println!("{report}");
     }
     Ok(())
@@ -525,9 +760,11 @@ fn main() {
         Err(msg) => {
             eprintln!("repro: {msg}");
             eprintln!(
-                "usage: repro [--jobs N] [selector ...] [trace [dir]] \
+                "usage: repro [--jobs N] [--quiet] [selector ...] [trace [dir]] \
                  [faultsweep [--seed S] [--campaigns N] [--small]] [dse [--small]] \
-                 [metrics [dir] [--small]] [bench [file] [--json] [--small]]"
+                 [metrics [dir] [--small]] [bench [file] [--json] [--small]] \
+                 [flame [dir] [--small]] [report [dir] [--small]] \
+                 [profdiff <a.json> <b.json>]"
             );
             process::exit(2);
         }

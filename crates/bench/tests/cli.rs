@@ -1,0 +1,168 @@
+//! CLI-level integration tests for the `repro` and `perfgate` binaries:
+//! the differential profiler, the `--quiet` switch, the unwritable-path
+//! diagnostics, and the category-naming perf-gate failure mode.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use triarch_bench::benchjson::BenchReport;
+
+/// The committed CI baseline artifact at the workspace root.
+fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_table3.json")
+}
+
+/// A scratch directory scoped to this test binary.
+fn tmp(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env_remove("TRIARCH_QUIET")
+        .env_remove("TRIARCH_JOBS")
+        .output()
+        .unwrap()
+}
+
+fn perfgate(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perfgate"))
+        .args(args)
+        .env_remove("TRIARCH_PERF_SKIP")
+        .env("TRIARCH_PERF_TOLERANCE", "0")
+        .output()
+        .unwrap()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn profdiff_of_the_committed_artifact_against_itself_is_empty() {
+    let baseline = baseline_path();
+    let baseline = baseline.to_str().unwrap();
+    let out = repro(&["profdiff", baseline, baseline]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert!(stdout.contains("profdiff: no differences (15 cells compared)"), "{stdout}");
+}
+
+#[test]
+fn profdiff_names_the_moved_category_on_a_perturbed_artifact() {
+    let baseline = fs::read_to_string(baseline_path()).unwrap();
+    let mut report = BenchReport::parse(&baseline).unwrap();
+    // Perturb one cell: +10% cycles, attributed entirely to the cell's
+    // first breakdown category.
+    let cell = &mut report.cells[0];
+    let bump = cell.cycles / 10;
+    cell.cycles += bump;
+    let category = {
+        let (name, weight) = cell.breakdown.iter_mut().next().unwrap();
+        *weight += bump;
+        name.clone()
+    };
+    let dir = tmp("profdiff-perturbed");
+    let perturbed = dir.join("perturbed.json");
+    fs::write(&perturbed, report.render()).unwrap();
+
+    let out = repro(&["profdiff", baseline_path().to_str().unwrap(), perturbed.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert!(stdout.contains("1 of 15 matched cells changed"), "{stdout}");
+    assert!(stdout.contains(&category), "expected category '{category}' in:\n{stdout}");
+}
+
+#[test]
+fn perfgate_failure_names_the_regressed_category() {
+    let baseline = fs::read_to_string(baseline_path()).unwrap();
+    let mut report = BenchReport::parse(&baseline).unwrap();
+    let cell = &mut report.cells[0];
+    let bump = (cell.cycles / 10).max(1);
+    cell.cycles += bump;
+    let category = {
+        let (name, weight) = cell.breakdown.iter_mut().next().unwrap();
+        *weight += bump;
+        name.clone()
+    };
+    let dir = tmp("perfgate-perturbed");
+    let perturbed = dir.join("perturbed.json");
+    fs::write(&perturbed, report.render()).unwrap();
+
+    let out = perfgate(&[baseline_path().to_str().unwrap(), perturbed.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("perfgate: FAIL"), "{stderr}");
+    assert!(stderr.contains("top regressed categories"), "{stderr}");
+    assert!(stderr.contains(&category), "expected regressed category '{category}' in:\n{stderr}");
+}
+
+#[test]
+fn perfgate_passes_the_committed_artifact_against_itself() {
+    let baseline = baseline_path();
+    let baseline = baseline.to_str().unwrap();
+    let out = perfgate(&[baseline, baseline]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("perfgate: PASS"));
+}
+
+#[test]
+fn unwritable_output_paths_fail_fast_with_a_named_path() {
+    // A plain file squatting where a directory must go: every file-writing
+    // selector should name the path and exit 1 before simulating anything.
+    let dir = tmp("unwritable");
+    let squatter = dir.join("squatter");
+    fs::write(&squatter, "not a directory").unwrap();
+    let bad = squatter.join("sub");
+    let bad = bad.to_str().unwrap();
+
+    for selector in ["report", "flame", "metrics", "trace"] {
+        let out = repro(&[selector, bad, "--small", "--jobs", "1"]);
+        assert_eq!(out.status.code(), Some(1), "selector {selector}");
+        let stderr = stderr_of(&out);
+        assert!(
+            stderr.contains("cannot create output directory") && stderr.contains(bad),
+            "selector {selector}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn profdiff_missing_artifact_exits_one_with_named_path() {
+    let out = repro(&["profdiff", "no-such-a.json", "no-such-b.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("cannot read bench artifact 'no-such-a.json'"), "{stderr}");
+}
+
+#[test]
+fn quiet_flag_and_env_suppress_informational_stderr() {
+    let dir = tmp("quiet");
+    let dir = dir.to_str().unwrap();
+
+    let loud = repro(&["flame", dir, "--small", "--jobs", "2"]);
+    assert!(loud.status.success(), "{}", stderr_of(&loud));
+    assert!(!loud.stderr.is_empty(), "expected pool stats on stderr");
+
+    let flag = repro(&["flame", dir, "--small", "--jobs", "2", "--quiet"]);
+    assert!(flag.status.success(), "{}", stderr_of(&flag));
+    assert!(flag.stderr.is_empty(), "--quiet left stderr: {}", stderr_of(&flag));
+    // stdout is unaffected by --quiet.
+    assert_eq!(stdout_of(&loud), stdout_of(&flag));
+
+    let env = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["flame", dir, "--small", "--jobs", "2"])
+        .env("TRIARCH_QUIET", "1")
+        .output()
+        .unwrap();
+    assert!(env.status.success());
+    assert!(env.stderr.is_empty(), "TRIARCH_QUIET=1 left stderr: {}", stderr_of(&env));
+}

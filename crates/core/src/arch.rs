@@ -19,6 +19,7 @@ use std::fmt;
 use triarch_imagine::{Imagine, ImagineConfig};
 use triarch_kernels::{Kernel, SignalMachine, WorkloadSet};
 use triarch_ppc::{Ppc, PpcConfig, Variant};
+use triarch_profile::{Fold, FoldSink};
 use triarch_raw::{Raw, RawConfig};
 use triarch_simcore::faults::FaultHook;
 use triarch_simcore::trace::{AggregateSink, TraceBreakdown};
@@ -182,6 +183,26 @@ impl MachineSpec {
         Ok((run, sink.into_breakdown()))
     }
 
+    /// [`Self::run_cell`] with a [`FoldSink`] attached, returning the
+    /// collapsed-stack profile alongside the run. The fold's total
+    /// re-adds to the run's cycle count exactly (the counted-span
+    /// contract), which `repro -- flame` prints per cell as "fold drift
+    /// 0".
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction and simulation errors.
+    pub fn run_cell_folded(
+        &self,
+        kernel: Kernel,
+        workloads: &WorkloadSet,
+    ) -> Result<(KernelRun, Fold), SimError> {
+        let mut machine = self.build()?;
+        let mut sink = FoldSink::new();
+        let run = machine.run_traced(kernel, workloads, &mut sink)?;
+        Ok((run, sink.into_fold()))
+    }
+
     /// [`Self::run_cell`] under a fault hook.
     ///
     /// # Errors
@@ -290,6 +311,19 @@ mod tests {
             .run_cell_traced(Kernel::CornerTurn, &workloads)
             .unwrap();
         assert_eq!(run.cycles.get(), trace.total());
+    }
+
+    #[test]
+    fn folded_cell_re_adds_to_total_with_drift_zero() {
+        let workloads = WorkloadSet::small(42).unwrap();
+        let (run, fold) = MachineSpec::Paper(Architecture::Viram)
+            .run_cell_folded(Kernel::Cslc, &workloads)
+            .unwrap();
+        assert_eq!(run.cycles.get(), fold.total());
+        // Per-category agreement with the engine's own ledger too.
+        for (category, cycles) in run.breakdown.iter() {
+            assert_eq!(cycles.get(), fold.category_total(category), "{category}");
+        }
     }
 
     #[test]

@@ -1,9 +1,22 @@
-//! ASCII bar charts for the paper's figures.
+//! ASCII bar charts for the paper's figures, plus inline-SVG stacked
+//! bars for the HTML report.
 //!
 //! Figures 8 and 9 in the paper are grouped bar charts on a logarithmic
-//! vertical axis; this module renders the same data as horizontal ASCII
-//! bars with a log-scaled length, so the repro binary's output is
-//! visually comparable to the paper's plots.
+//! vertical axis; [`render_log_bars`] renders the same data as
+//! horizontal ASCII bars with a log-scaled length, so the repro
+//! binary's output is visually comparable to the paper's plots.
+//!
+//! [`render_stacked_svg`] renders the §4.2–§4.4 cycle breakdowns as
+//! normalized horizontal stacked bars (one segment per breakdown
+//! category), self-contained SVG with no external tools. Colors come
+//! from the same deterministic hash palette as the flamegraphs
+//! ([`triarch_profile::frame_color`]), so a category has one color
+//! across every exhibit, and all coordinates use fixed two-decimal
+//! precision so the markup is byte-stable.
+
+use std::fmt::Write as _;
+
+use triarch_profile::frame_color;
 
 /// One bar: a label and a positive value.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +86,123 @@ pub fn render_log_bars(bars: &[Bar], width: usize) -> String {
     out
 }
 
+/// One stacked bar: a row label plus `(segment label, weight)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackedBar {
+    /// Row label (e.g. `"VIRAM / Corner Turn"`).
+    pub label: String,
+    /// Segments in display order; each bar is normalized to 100%.
+    pub segments: Vec<(String, u64)>,
+}
+
+/// Label gutter width in the stacked-bar SVG.
+const GUTTER: f64 = 210.0;
+/// Stacked-bar plot width.
+const PLOT_W: f64 = 760.0;
+/// Height of one stacked bar.
+const BAR_H: f64 = 20.0;
+/// Vertical gap between bars.
+const BAR_GAP: f64 = 6.0;
+/// Vertical space reserved for the chart title.
+const TITLE_H: f64 = 26.0;
+
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders normalized horizontal stacked bars as a self-contained SVG.
+///
+/// Every bar spans the full plot width; segment widths are
+/// proportional to their share of the bar's total, matching the
+/// percentage-stacked presentation of the paper's §4.2–§4.4 breakdown
+/// discussion. Segments carry `<title>` tooltips with the raw cycle
+/// weight and percentage. Zero-total bars render their label with an
+/// empty track; empty input renders an empty SVG shell.
+#[must_use]
+pub fn render_stacked_svg(title: &str, bars: &[StackedBar]) -> String {
+    let height = TITLE_H + bars.len() as f64 * (BAR_H + BAR_GAP) + 4.0;
+    let width = GUTTER + PLOT_W + 10.0;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" \
+         height=\"{height:.0}\" viewBox=\"0 0 {width:.0} {height:.0}\">",
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"4\" y=\"17\" font-size=\"13\" font-family=\"monospace\" \
+         font-weight=\"bold\" fill=\"black\">{}</text>",
+        xml_escape(title),
+    );
+    for (row, bar) in bars.iter().enumerate() {
+        let y = TITLE_H + row as f64 * (BAR_H + BAR_GAP);
+        let _ = writeln!(
+            out,
+            "<text x=\"4\" y=\"{ty:.2}\" font-size=\"11\" \
+             font-family=\"monospace\" fill=\"black\">{}</text>",
+            xml_escape(&bar.label),
+            ty = y + BAR_H - 6.0,
+        );
+        let total: u64 = bar.segments.iter().map(|(_, w)| *w).sum();
+        if total == 0 {
+            continue;
+        }
+        let mut x = GUTTER;
+        for (name, weight) in &bar.segments {
+            if *weight == 0 {
+                continue;
+            }
+            let w = PLOT_W * *weight as f64 / total as f64;
+            let (r, g, b) = frame_color(name);
+            let pct = 100.0 * *weight as f64 / total as f64;
+            let _ = writeln!(
+                out,
+                "<g><title>{esc}: {weight} cycles ({pct:.2}%)</title>\
+                 <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" \
+                 height=\"{h:.2}\" fill=\"rgb({r},{g},{b})\" stroke=\"white\" \
+                 stroke-width=\"0.5\"/></g>",
+                esc = xml_escape(name),
+                h = BAR_H,
+            );
+            x += w;
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A deterministic color legend for the categories used by
+/// [`render_stacked_svg`], as inline HTML chips.
+#[must_use]
+pub fn render_legend_html(categories: &[&str]) -> String {
+    let mut out = String::from("<p class=\"legend\">");
+    for (i, name) in categories.iter().enumerate() {
+        if i != 0 {
+            out.push(' ');
+        }
+        let (r, g, b) = frame_color(name);
+        let _ = write!(
+            out,
+            "<span style=\"background:rgb({r},{g},{b});padding:0 6px;\
+             border:1px solid #999;\">&nbsp;</span>&nbsp;{}",
+            xml_escape(name),
+        );
+    }
+    out.push_str("</p>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +260,55 @@ mod tests {
         let chart = render_log_bars(&bars(&[42.0]), 10);
         assert!(chart.contains("42.0x"));
         assert!(chart.contains("10^"));
+    }
+
+    fn stacked(label: &str, segments: &[(&str, u64)]) -> StackedBar {
+        StackedBar {
+            label: label.to_string(),
+            segments: segments.iter().map(|(n, w)| (n.to_string(), *w)).collect(),
+        }
+    }
+
+    #[test]
+    fn stacked_svg_is_normalized_and_stable() {
+        let rows = vec![
+            stacked("VIRAM / Corner Turn", &[("memory", 750), ("compute", 250)]),
+            stacked("Raw / CSLC", &[("dram-port", 10)]),
+        ];
+        let svg = render_stacked_svg("Cycle breakdowns", &rows);
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("memory: 750 cycles (75.00%)"), "{svg}");
+        // A single-segment bar spans the full plot width.
+        assert!(svg.contains("width=\"760.00\""), "{svg}");
+        assert_eq!(svg, render_stacked_svg("Cycle breakdowns", &rows));
+    }
+
+    #[test]
+    fn stacked_svg_skips_zero_weights_and_totals() {
+        let rows = vec![stacked("empty", &[]), stacked("zeros", &[("a", 0)])];
+        let svg = render_stacked_svg("t", &rows);
+        assert!(svg.contains("empty"));
+        assert!(svg.contains("zeros"));
+        assert!(!svg.contains("<rect"));
+    }
+
+    #[test]
+    fn legend_colors_match_segments() {
+        let legend = render_legend_html(&["memory", "compute"]);
+        let (r, g, b) = frame_color("memory");
+        assert!(legend.contains(&format!("rgb({r},{g},{b})")));
+        assert!(legend.contains("memory"));
+        assert!(legend.contains("compute"));
+    }
+
+    #[test]
+    fn xml_escaping_in_chart_labels() {
+        let rows = vec![stacked("a<b>&\"", &[("x&y", 1)])];
+        let svg = render_stacked_svg("t&t", &rows);
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;"));
+        assert!(svg.contains("x&amp;y"));
+        assert!(svg.contains("t&amp;t"));
+        assert!(!svg.contains("a<b>"));
     }
 }

@@ -67,6 +67,14 @@ pub struct Table3 {
 }
 
 impl Table3 {
+    /// Assembles a table from per-cell runs (e.g. the runs behind a
+    /// folded-profile collection), so drivers that already executed
+    /// the grid need not simulate it twice.
+    #[must_use]
+    pub fn from_runs(runs: Vec<((Architecture, Kernel), KernelRun)>) -> Table3 {
+        Table3 { runs }
+    }
+
     /// The run for one cell.
     ///
     /// # Panics

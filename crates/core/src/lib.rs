@@ -42,6 +42,7 @@ pub mod claims;
 pub mod dse;
 pub mod experiments;
 pub mod faultsweep;
+pub mod htmlreport;
 pub mod paper;
 pub mod parallel;
 pub mod report;

@@ -50,6 +50,30 @@ use triarch_metrics::{Metric, MetricsReport};
 /// Environment variable consulted by [`jobs_from_env`].
 pub const JOBS_ENV: &str = "TRIARCH_JOBS";
 
+/// Environment variable consulted by [`quiet_from_env`].
+///
+/// When set to `1` (or any non-empty value other than `0`), CLI
+/// drivers suppress informational stderr chatter — the per-run
+/// [`PoolStats`] line and progress messages — so Prometheus scrape
+/// pipelines and `profdiff` JSON consumers get clean streams. The same
+/// numbers remain available as `pool.*` gauges via
+/// [`PoolStats::export_metrics`].
+pub const QUIET_ENV: &str = "TRIARCH_QUIET";
+
+/// The [`QUIET_ENV`] interpretation rule: any non-empty value other
+/// than `"0"` means quiet.
+#[must_use]
+pub fn parse_quiet(value: &str) -> bool {
+    !value.is_empty() && value != "0"
+}
+
+/// Whether [`QUIET_ENV`] requests quiet stderr (set and not `"0"` /
+/// empty). CLIs OR this with their `--quiet` flag.
+#[must_use]
+pub fn quiet_from_env() -> bool {
+    std::env::var(QUIET_ENV).map(|v| parse_quiet(&v)).unwrap_or(false)
+}
+
 /// Jobs a worker pulls from the injector at a time.
 ///
 /// Small enough that stragglers get stolen, large enough to amortise the
@@ -560,6 +584,14 @@ mod tests {
     #[test]
     fn available_workers_is_at_least_one() {
         assert!(available_workers() >= 1);
+    }
+
+    #[test]
+    fn parse_quiet_rule() {
+        assert!(parse_quiet("1"));
+        assert!(parse_quiet("true"));
+        assert!(!parse_quiet("0"));
+        assert!(!parse_quiet(""));
     }
 
     #[test]

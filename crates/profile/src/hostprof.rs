@@ -1,0 +1,247 @@
+//! Simulator self-profiling: where does *our own* wall time go?
+//!
+//! [`HostProf`] samples the host's monotonic clock
+//! ([`std::time::Instant`]) around cell and phase execution and exports
+//! the attribution as `host.*` gauges in the existing metrics registry:
+//! per-cell wall seconds, per-cell simulated-cycles-per-host-second
+//! (the simulator's own throughput), and per-phase wall seconds.
+//!
+//! ## Clock caveats — why `host.*` is informational only
+//!
+//! Wall samples depend on the machine, its load, the scheduler, and
+//! worker count; they are **not deterministic** and are therefore kept
+//! out of every byte-stable artifact (folded stacks, flamegraph SVGs,
+//! the HTML report, the bench-artifact cells). They surface on stderr
+//! and in `metrics.prom` only, and nothing ever gates on them. Under
+//! `--jobs N` the per-cell walls are *occupancy* (time the job spent on
+//! a worker), so their sum can exceed the batch's elapsed wall; the
+//! cycles/second rates remain meaningful per cell.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use triarch_metrics::MetricsReport;
+
+/// Maps a display label (e.g. `"Corner Turn"` or `"VIRAM/CSLC"`) into
+/// the dotted-metric-name alphabet: lowercased, every other character
+/// collapsed to `_` (runs merged, edges trimmed).
+#[must_use]
+pub fn metric_slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut pending_sep = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_sep && !out.is_empty() {
+                out.push('_');
+            }
+            pending_sep = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            pending_sep = true;
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Accumulated host-side wall attribution.
+#[derive(Debug, Clone, Default)]
+pub struct HostProf {
+    cells: Vec<(String, Duration, u64)>,
+    phases: Vec<(String, Duration)>,
+}
+
+impl HostProf {
+    /// An empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        HostProf::default()
+    }
+
+    /// Records one simulated cell: its label, the wall time its
+    /// simulation took on this host, and the simulated cycles it
+    /// produced.
+    pub fn record_cell(&mut self, label: &str, wall: Duration, sim_cycles: u64) {
+        self.cells.push((label.to_string(), wall, sim_cycles));
+    }
+
+    /// Records one non-cell phase (e.g. `"scorecard"`, `"render"`).
+    pub fn record_phase(&mut self, name: &str, wall: Duration) {
+        self.phases.push((name.to_string(), wall));
+    }
+
+    /// Runs `f`, recording its wall time as phase `name`.
+    pub fn time_phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record_phase(name, t0.elapsed());
+        out
+    }
+
+    /// Total recorded wall time (cells + phases).
+    #[must_use]
+    pub fn total_wall(&self) -> Duration {
+        self.cells.iter().map(|(_, w, _)| *w).sum::<Duration>()
+            + self.phases.iter().map(|(_, w)| *w).sum::<Duration>()
+    }
+
+    /// Total simulated cycles across recorded cells.
+    #[must_use]
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.cells.iter().map(|(_, _, c)| *c).sum()
+    }
+
+    /// Number of recorded cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Exports the attribution as `host.*` gauges/counters.
+    ///
+    /// Names: `host.cell.<slug>.wall_seconds`,
+    /// `host.cell.<slug>.sim_cycles`,
+    /// `host.cell.<slug>.sim_cycles_per_host_second`,
+    /// `host.phase.<slug>.wall_seconds`, `host.wall_seconds`,
+    /// `host.sim_cycles_per_host_second`, `host.cells`.
+    pub fn export(&self, report: &mut MetricsReport) {
+        for (label, wall, cycles) in &self.cells {
+            let slug = metric_slug(label);
+            let secs = wall.as_secs_f64();
+            report.gauge(&format!("host.cell.{slug}.wall_seconds"), secs);
+            report.counter(&format!("host.cell.{slug}.sim_cycles"), *cycles);
+            report.gauge(
+                &format!("host.cell.{slug}.sim_cycles_per_host_second"),
+                rate(*cycles, secs),
+            );
+        }
+        for (name, wall) in &self.phases {
+            let slug = metric_slug(name);
+            report.gauge(&format!("host.phase.{slug}.wall_seconds"), wall.as_secs_f64());
+        }
+        let total = self.total_wall().as_secs_f64();
+        report.gauge("host.wall_seconds", total);
+        report.counter("host.cells", self.cells.len() as u64);
+        let cell_wall: f64 = self.cells.iter().map(|(_, w, _)| w.as_secs_f64()).sum();
+        report.gauge("host.sim_cycles_per_host_second", rate(self.total_sim_cycles(), cell_wall));
+    }
+
+    /// Human summary, sorted by wall time descending (ties by label) —
+    /// the engine that dominates our own wall time comes first. Meant
+    /// for stderr; not byte-stable (it contains wall-clock samples).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "host profile: {:.3}s total over {} cells + {} phases \
+             ({:.1} Mcycles simulated per host-second)",
+            self.total_wall().as_secs_f64(),
+            self.cells.len(),
+            self.phases.len(),
+            rate(self.total_sim_cycles(), self.cells.iter().map(|(_, w, _)| w.as_secs_f64()).sum(),)
+                / 1e6,
+        );
+        let mut lines: Vec<(Duration, String)> = Vec::new();
+        for (label, wall, cycles) in &self.cells {
+            lines.push((
+                *wall,
+                format!(
+                    "  cell {label}: {:.3}s ({:.1} Mcycles/s)",
+                    wall.as_secs_f64(),
+                    rate(*cycles, wall.as_secs_f64()) / 1e6,
+                ),
+            ));
+        }
+        for (name, wall) in &self.phases {
+            lines.push((*wall, format!("  phase {name}: {:.3}s", wall.as_secs_f64())));
+        }
+        lines.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        for (_, line) in lines {
+            let _ = write!(out, "\n{line}");
+        }
+        out
+    }
+}
+
+/// `cycles / seconds`, 0 when the denominator is 0.
+fn rate(cycles: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        cycles as f64 / seconds
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triarch_metrics::Metric;
+
+    #[test]
+    fn slugs_are_metric_safe() {
+        assert_eq!(metric_slug("Corner Turn"), "corner_turn");
+        assert_eq!(metric_slug("VIRAM/CSLC"), "viram_cslc");
+        assert_eq!(metric_slug("Beam Steering"), "beam_steering");
+        assert_eq!(metric_slug("--odd--"), "odd");
+        assert_eq!(metric_slug(""), "_");
+        assert_eq!(metric_slug("!!"), "_");
+    }
+
+    #[test]
+    fn export_emits_host_gauges() {
+        let mut prof = HostProf::new();
+        prof.record_cell("VIRAM/CSLC", Duration::from_millis(500), 1_000_000);
+        prof.record_phase("scorecard", Duration::from_millis(250));
+        let mut report = MetricsReport::new();
+        prof.export(&mut report);
+        assert_eq!(report.counter_value("host.cells"), Some(1));
+        assert_eq!(report.counter_value("host.cell.viram_cslc.sim_cycles"), Some(1_000_000));
+        let wall = report.get("host.cell.viram_cslc.wall_seconds").map(Metric::value);
+        assert_eq!(wall, Some(0.5));
+        let rate = report.get("host.cell.viram_cslc.sim_cycles_per_host_second").map(Metric::value);
+        assert_eq!(rate, Some(2_000_000.0));
+        assert_eq!(report.get("host.wall_seconds").map(Metric::value), Some(0.75));
+        assert_eq!(report.get("host.phase.scorecard.wall_seconds").map(Metric::value), Some(0.25),);
+        assert_eq!(
+            report.get("host.sim_cycles_per_host_second").map(Metric::value),
+            Some(2_000_000.0),
+        );
+    }
+
+    #[test]
+    fn render_sorts_by_wall_descending() {
+        let mut prof = HostProf::new();
+        prof.record_cell("fast", Duration::from_millis(10), 100);
+        prof.record_cell("slow", Duration::from_millis(900), 100);
+        prof.record_phase("mid", Duration::from_millis(100));
+        let text = prof.render();
+        let slow = text.find("cell slow").unwrap_or(usize::MAX);
+        let mid = text.find("phase mid").unwrap_or(usize::MAX);
+        let fast = text.find("cell fast").unwrap_or(usize::MAX);
+        assert!(slow < mid && mid < fast, "{text}");
+        assert!(text.starts_with("host profile: 1.010s total over 2 cells + 1 phases"), "{text}");
+    }
+
+    #[test]
+    fn time_phase_records_and_returns() {
+        let mut prof = HostProf::new();
+        let v = prof.time_phase("work", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(prof.cell_count(), 0);
+        assert_eq!(prof.phases.len(), 1);
+        assert!(prof.total_wall() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_wall_rate_is_zero() {
+        let mut prof = HostProf::new();
+        prof.record_cell("z", Duration::ZERO, 10);
+        let mut report = MetricsReport::new();
+        prof.export(&mut report);
+        assert_eq!(
+            report.get("host.cell.z.sim_cycles_per_host_second").map(Metric::value),
+            Some(0.0),
+        );
+    }
+}
