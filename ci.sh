@@ -26,6 +26,12 @@ echo "== cargo clippy triarch-profile (deny unwrap/expect) =="
 cargo clippy -p triarch-profile --all-targets -- -D warnings \
   -D clippy::unwrap_used -D clippy::expect_used
 
+# triarch-serve carries crate-level #![warn(clippy::unwrap_used,
+# clippy::expect_used)], so -D warnings alone denies them without
+# poisoning its workspace dependencies (core is allowed its expects).
+echo "== cargo clippy triarch-serve (deny unwrap/expect) =="
+cargo clippy -p triarch-serve --all-targets -- -D warnings
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
@@ -119,6 +125,34 @@ echo "$pd" | grep -q "profdiff: no differences" || {
   echo "$pd" >&2
   exit 1
 }
+
+echo "== serve round-trip smoke (daemon vs one-shot, warm cache hit) =="
+serve_sock="target/ci-serve.sock"
+cargo run --release -q -p triarch-bench --bin repro -- \
+  serve --addr "unix:$serve_sock" --workers 2 --queue 8 --jobs 2 --quiet &
+serve_pid=$!
+servectl() {
+  cargo run --release -q -p triarch-bench --bin servectl -- \
+    --addr "unix:$serve_sock" --quiet "$@"
+}
+serve_fail() {
+  echo "$1" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+}
+cargo run --release -q -p triarch-bench --bin servectl -- \
+  --addr "unix:$serve_sock" --quiet --connect-retries 50 ping \
+  || serve_fail "serve daemon never became reachable"
+one_shot="$(cargo run --release -q -p triarch-bench --bin repro -- --jobs 2 table3 2>/dev/null)"
+cold="$(servectl submit table3)" || serve_fail "cold table3 submit failed"
+warm="$(servectl submit table3)" || serve_fail "warm table3 submit failed"
+[ "$cold" = "$one_shot" ] || serve_fail "served table3 differs from one-shot repro table3"
+[ "$cold" = "$warm" ] || serve_fail "warm cache hit is not byte-identical to the cold miss"
+servectl stats | grep -qx "triarch_serve_cache_hits 1" \
+  || serve_fail "stats did not count exactly one cache hit"
+servectl shutdown || serve_fail "serve shutdown failed"
+wait "$serve_pid" || serve_fail "serve daemon exited non-zero"
+test ! -e "$serve_sock" || serve_fail "serve daemon left its socket file behind"
 
 echo "== perf gate (fresh BENCH_table3.json vs committed baseline) =="
 # Tolerance is explicit: the simulators are deterministic, so 0 drift is

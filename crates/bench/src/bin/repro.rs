@@ -7,7 +7,7 @@
 //!
 //! Accepted selectors: `table1 table2 table3 table4 figure8 figure9
 //! breakdowns altivec claims ablations trace faultsweep dse metrics
-//! bench flame report profdiff`.
+//! bench flame report profdiff serve`.
 //!
 //! `trace [dir]` runs every machine × kernel pair with event tracing
 //! enabled and writes one Chrome `trace_event` JSON file and one CSV per
@@ -60,6 +60,14 @@
 //! seed. `--small` substitutes the reduced workload set for quick smoke
 //! runs.
 //!
+//! `serve [--addr A] [--workers N] [--queue N] [--cache-entries N]`
+//! starts the simulation-as-a-service daemon and blocks until a client
+//! sends a shutdown request. `--addr` takes `<host>:<port>` (default
+//! `127.0.0.1:7444`) or `unix:<path>`; `--workers` bounds concurrent
+//! jobs, `--queue` the admission queue, `--cache-entries` the
+//! content-addressed result cache. Submit jobs with the `servectl`
+//! binary; repeated requests are served from the cache byte-identically.
+//!
 //! `dse [--small]` sweeps microarchitectural parameters around the
 //! paper's design points (VIRAM lanes × address generators, Imagine
 //! clusters × memory width, Raw mesh size, PPC L2 capacity), prints the
@@ -89,6 +97,7 @@ use std::time::{Duration, Instant};
 
 use triarch_bench::benchjson::{self, BenchCell, BenchReport, SCHEMA_VERSION};
 use triarch_core::arch::Architecture;
+use triarch_core::driver::{self, cell_slug};
 use triarch_core::experiments::Table3;
 use triarch_core::htmlreport::{self, FoldedCell};
 use triarch_core::roofline::Scorecard;
@@ -102,7 +111,7 @@ use triarch_simcore::trace::{export, AggregateSink, RingSink, TeeSink};
 const RING_CAPACITY: usize = 1 << 18;
 
 /// Every selector the CLI accepts (flags are parsed separately).
-const SELECTORS: [&str; 18] = [
+const SELECTORS: [&str; 19] = [
     "table1",
     "table2",
     "table3",
@@ -121,6 +130,7 @@ const SELECTORS: [&str; 18] = [
     "flame",
     "report",
     "profdiff",
+    "serve",
 ];
 
 /// Parsed command line.
@@ -154,6 +164,14 @@ struct Options {
     /// Pool workers (`--jobs`); resolved from `TRIARCH_JOBS` or the
     /// machine's available parallelism when absent.
     jobs: usize,
+    /// Daemon listen address (`--addr`, serve only).
+    serve_addr: String,
+    /// Concurrent daemon job executions (`--workers`, serve only).
+    workers: usize,
+    /// Daemon admission-queue capacity (`--queue`, serve only).
+    queue: usize,
+    /// Daemon result-cache bound (`--cache-entries`, serve only).
+    cache_entries: usize,
 }
 
 impl Options {
@@ -174,6 +192,10 @@ impl Options {
             small: false,
             quiet: triarch_pool::quiet_from_env(),
             jobs: triarch_pool::jobs_from_env()?,
+            serve_addr: String::from("127.0.0.1:7444"),
+            workers: 2,
+            queue: 16,
+            cache_entries: 64,
         };
         let mut i = 0;
         while i < args.len() {
@@ -196,6 +218,36 @@ impl Options {
                             return Err(String::from("--campaigns must be at least 1"));
                         }
                         opts.campaigns = parsed;
+                    }
+                    i += 2;
+                }
+                "--addr" => {
+                    let value = args.get(i + 1).ok_or_else(|| format!("{arg} requires a value"))?;
+                    // Validate eagerly so a typo fails with exit 2 and
+                    // usage, not a late bind error.
+                    triarch_serve::parse_addr(value)?;
+                    opts.serve_addr.clone_from(value);
+                    i += 2;
+                }
+                "--workers" | "--queue" | "--cache-entries" => {
+                    let value = args.get(i + 1).ok_or_else(|| format!("{arg} requires a value"))?;
+                    let parsed: usize = value.parse().map_err(|_| {
+                        format!("{arg} requires an unsigned integer, got '{value}'")
+                    })?;
+                    match arg {
+                        "--workers" => {
+                            if parsed == 0 {
+                                return Err(String::from("--workers must be at least 1"));
+                            }
+                            opts.workers = parsed;
+                        }
+                        "--queue" => opts.queue = parsed,
+                        _ => {
+                            if parsed == 0 {
+                                return Err(String::from("--cache-entries must be at least 1"));
+                            }
+                            opts.cache_entries = parsed;
+                        }
                     }
                     i += 2;
                 }
@@ -262,14 +314,35 @@ impl Options {
         if opts.bench_json && !opts.explicit("bench") {
             return Err(String::from("--json requires the bench selector"));
         }
+        if !opts.explicit("serve") {
+            for (flag, given) in [
+                ("--addr", opts.serve_addr != "127.0.0.1:7444"),
+                ("--workers", opts.workers != 2),
+                ("--queue", opts.queue != 16),
+                ("--cache-entries", opts.cache_entries != 64),
+            ] {
+                if given {
+                    return Err(format!("{flag} requires the serve selector"));
+                }
+            }
+        }
         Ok(opts)
     }
 
     /// Whether `name` should run: explicitly selected, or (for exhibits
     /// that participate in the run-everything default) no selector given.
     fn want(&self, name: &str) -> bool {
-        const EXPLICIT_ONLY: [&str; 8] =
-            ["trace", "faultsweep", "dse", "metrics", "bench", "flame", "report", "profdiff"];
+        const EXPLICIT_ONLY: [&str; 9] = [
+            "trace",
+            "faultsweep",
+            "dse",
+            "metrics",
+            "bench",
+            "flame",
+            "report",
+            "profdiff",
+            "serve",
+        ];
         self.explicit(name) || (self.selectors.is_empty() && !EXPLICIT_ONLY.contains(&name))
     }
 
@@ -277,18 +350,6 @@ impl Options {
     fn explicit(&self, name: &str) -> bool {
         self.selectors.iter().any(|s| s == name)
     }
-}
-
-/// Lowercases a display name into a file-name slug.
-fn slug(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
-        .collect()
-}
-
-/// The `<arch>-<kernel>` file-name base for a grid cell.
-fn cell_base(arch: Architecture, kernel: Kernel) -> String {
-    format!("{}-{}", slug(arch.name()), slug(kernel.name()))
 }
 
 /// Creates `dir` (and any missing parents), mapping failures — an
@@ -348,7 +409,7 @@ fn dump_traces(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             let events = ring.into_events();
             let trace = agg.into_breakdown();
 
-            let base = cell_base(arch, kernel);
+            let base = cell_slug(arch, kernel);
             write_file(
                 &dir.join(format!("{base}.trace.json")),
                 &export::chrome_trace_json(&events),
@@ -393,8 +454,7 @@ fn run_faultsweep(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if !opts.quiet {
         eprintln!("{}", stats.render());
     }
-    println!("== Fault-injection sweep ==");
-    println!("{}", table.render());
+    print!("{}", driver::faultsweep_text(&table));
     Ok(())
 }
 
@@ -417,10 +477,7 @@ fn run_dse(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if !opts.quiet {
         eprintln!("{}", stats.render());
     }
-    println!("== Design-space exploration ==");
-    println!("{}", report.render());
-    println!("== Section 4 attribution findings ==");
-    println!("{}", report.render_findings());
+    print!("{}", driver::dse_text(&report));
     Ok(())
 }
 
@@ -460,7 +517,7 @@ fn run_metrics(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         let run = &cell.run;
         let mut report = run.metrics.clone();
         scorecard.cell(cell.arch, cell.kernel).export_metrics(&mut report);
-        let base = cell_base(cell.arch, cell.kernel);
+        let base = cell_slug(cell.arch, cell.kernel);
         write_file(&dir.join(format!("{base}.metrics.json")), &report.render_json())?;
         for (name, metric) in report.iter() {
             combined.set(&format!("{base}.{name}"), metric.clone());
@@ -494,7 +551,7 @@ fn run_flame(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let (folds, _, _) = collect_folds(opts, "folding trace spans into flamegraphs")?;
     println!("== Flamegraphs ({}) ==", dir.display());
     for cell in &folds {
-        let base = cell_base(cell.arch, cell.kernel);
+        let base = cell_slug(cell.arch, cell.kernel);
         write_file(
             &dir.join(format!("{base}.folded")),
             &cell.fold.render_collapsed(cell.arch.name(), cell.kernel.name()),
@@ -519,7 +576,7 @@ fn run_report(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let (folds, workloads, kind) = collect_folds(opts, "building the HTML attribution report")?;
     prof.record_phase("simulate-grid", t0.elapsed());
     for cell in &folds {
-        prof.record_cell(&cell_base(cell.arch, cell.kernel), cell.wall, cell.run.cycles.get());
+        prof.record_cell(&cell_slug(cell.arch, cell.kernel), cell.wall, cell.run.cycles.get());
     }
     let table3 = table_from_folds(&folds);
     let scorecard = prof.time_phase("scorecard", || Scorecard::compute(&table3, &workloads))?;
@@ -636,7 +693,28 @@ fn run_bench(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Starts the campaign daemon and blocks until it is shut down (via
+/// `servectl shutdown` or a shutdown frame from any client).
+fn run_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = triarch_serve::parse_addr(&opts.serve_addr).map_err(|e| e.to_string())?;
+    let mut config = triarch_serve::ServeConfig::new(addr);
+    config.workers = opts.workers;
+    config.queue = opts.queue;
+    config.cache_entries = opts.cache_entries;
+    config.jobs = opts.jobs;
+    config.quiet = opts.quiet;
+    let handle = triarch_serve::serve(config).map_err(|e| e.to_string())?;
+    handle.join();
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    // `serve` runs the daemon until shutdown; it composes with nothing
+    // else, so it takes over the whole invocation.
+    if opts.explicit("serve") {
+        return run_serve(opts);
+    }
+
     if opts.want("table1") {
         println!("== Table 1: peak throughput (32-bit words per cycle) ==");
         println!("{}", experiments::table1());
@@ -705,10 +783,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if opts.want("table3") {
-        println!("== Table 3: experimental results (kilocycles) ==");
-        println!("{}", table3.render());
-        println!("== Table 3 vs published ==");
-        println!("{}", table3.render_vs_paper());
+        print!("{}", driver::table3_text(&table3));
     }
     if opts.want("table4") {
         println!("== Table 4: performance-model lower bounds (kilocycles) ==");
@@ -764,7 +839,8 @@ fn main() {
                  [faultsweep [--seed S] [--campaigns N] [--small]] [dse [--small]] \
                  [metrics [dir] [--small]] [bench [file] [--json] [--small]] \
                  [flame [dir] [--small]] [report [dir] [--small]] \
-                 [profdiff <a.json> <b.json>]"
+                 [profdiff <a.json> <b.json>] \
+                 [serve [--addr A] [--workers N] [--queue N] [--cache-entries N]]"
             );
             process::exit(2);
         }

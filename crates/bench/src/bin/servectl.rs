@@ -1,0 +1,235 @@
+//! `servectl` — the command-line client for the `repro -- serve` daemon.
+//!
+//! ```text
+//! servectl [--addr A] [--quiet] [--connect-retries N] <command>
+//!
+//! commands:
+//!   submit <driver> [--workload paper|small] [--seed S] [--campaigns N]
+//!                   [--arch A --kernel K] [--a FILE --b FILE]
+//!   stats      dump the daemon's serve.* metrics (Prometheus text)
+//!   ping       liveness probe
+//!   shutdown   ask the daemon to drain and exit
+//! ```
+//!
+//! `submit` writes the artifact bytes to stdout *verbatim* — byte-for-byte
+//! what the matching one-shot `repro` selector prints — and notes the
+//! cache disposition (hit or miss) on stderr unless `--quiet` /
+//! `TRIARCH_QUIET=1`. Flame jobs need `--arch` + `--kernel`; profdiff
+//! jobs need `--a` + `--b` (two bench JSON artifacts, sent inline).
+//!
+//! Exit status: 0 success, 1 runtime failure (unreachable daemon,
+//! server-reported error), 2 usage error.
+
+use std::env;
+use std::fs;
+use std::process;
+
+use triarch_core::arch::Architecture;
+use triarch_kernels::machine::Kernel;
+use triarch_serve::{parse_addr, Client, DriverKind, JobSpec, WorkloadKind};
+
+/// Everything parsed off the command line.
+struct Options {
+    /// Daemon address (`host:port` or `unix:PATH`).
+    addr: String,
+    /// Suppress the stderr hit/miss note.
+    quiet: bool,
+    /// Connection retries (100 ms apart) for daemons still binding.
+    connect_retries: u32,
+    /// The command and its arguments.
+    command: Command,
+}
+
+/// A parsed subcommand.
+enum Command {
+    /// Submit one job and print its artifact.
+    Submit(JobSpec),
+    /// Dump the daemon's metrics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain and exit.
+    Shutdown,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut addr = String::from("127.0.0.1:7444");
+        let mut quiet = triarch_pool::quiet_from_env();
+        let mut connect_retries = 0u32;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--addr" => {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| String::from("--addr requires an address"))?;
+                    parse_addr(value).map_err(|e| e.to_string())?;
+                    addr.clone_from(value);
+                    i += 2;
+                }
+                "--quiet" => {
+                    quiet = true;
+                    i += 1;
+                }
+                "--connect-retries" => {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| String::from("--connect-retries requires a count"))?;
+                    connect_retries = value
+                        .parse()
+                        .map_err(|_| format!("invalid --connect-retries '{value}'"))?;
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        let command = args
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| String::from("expected a command (submit, stats, ping, shutdown)"))?;
+        let rest = &args[i + 1..];
+        let command = match command {
+            "submit" => Command::Submit(parse_submit(rest)?),
+            "stats" | "ping" | "shutdown" => {
+                if let Some(extra) = rest.first() {
+                    return Err(format!("unexpected argument '{extra}' after {command}"));
+                }
+                match command {
+                    "stats" => Command::Stats,
+                    "ping" => Command::Ping,
+                    _ => Command::Shutdown,
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown command '{other}' (expected submit, stats, ping, or shutdown)"
+                ));
+            }
+        };
+        Ok(Options { addr, quiet, connect_retries, command })
+    }
+}
+
+/// Parses `submit <driver> [flags]` into a validated [`JobSpec`].
+fn parse_submit(args: &[String]) -> Result<JobSpec, String> {
+    let driver =
+        args.first().ok_or_else(|| format!("submit requires a driver ({})", driver_names()))?;
+    let driver = DriverKind::from_name(driver).ok_or_else(|| {
+        format!("unknown driver '{driver}' (expected one of: {})", driver_names())
+    })?;
+    let mut spec = JobSpec::new(driver, WorkloadKind::Paper);
+    let (mut arch, mut kernel) = (None, None);
+    let (mut file_a, mut file_b) = (None, None);
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag {
+            "--workload" => {
+                spec.workload = WorkloadKind::from_name(value).ok_or_else(|| {
+                    format!("unknown workload '{value}' (expected paper or small)")
+                })?;
+            }
+            "--seed" => {
+                spec.seed = value.parse().map_err(|_| format!("invalid --seed '{value}'"))?;
+            }
+            "--campaigns" => {
+                spec.campaigns =
+                    value.parse().map_err(|_| format!("invalid --campaigns '{value}'"))?;
+            }
+            "--arch" => {
+                arch = Some(
+                    Architecture::from_name(value)
+                        .ok_or_else(|| format!("unknown architecture '{value}'"))?,
+                );
+            }
+            "--kernel" => {
+                kernel = Some(
+                    Kernel::from_name(value).ok_or_else(|| format!("unknown kernel '{value}'"))?,
+                );
+            }
+            "--a" => file_a = Some(value.clone()),
+            "--b" => file_b = Some(value.clone()),
+            other => return Err(format!("unknown submit flag '{other}'")),
+        }
+        i += 2;
+    }
+    spec.cell = match (arch, kernel) {
+        (Some(arch), Some(kernel)) => Some((arch, kernel)),
+        (None, None) => None,
+        _ => return Err(String::from("--arch and --kernel must be given together")),
+    };
+    spec.artifacts = match (file_a, file_b) {
+        (Some(a), Some(b)) => Some((read_artifact(&a)?, read_artifact(&b)?)),
+        (None, None) => None,
+        _ => return Err(String::from("--a and --b must be given together")),
+    };
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+/// Reads a bench artifact to send inline, naming the path on failure.
+fn read_artifact(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read artifact '{path}': {e}"))
+}
+
+/// The comma-separated driver wire names, for usage messages.
+fn driver_names() -> String {
+    DriverKind::ALL.iter().map(|d| d.name()).collect::<Vec<_>>().join(", ")
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let addr = parse_addr(&opts.addr).map_err(|e| e.to_string())?;
+    let client = Client::new(addr).with_connect_retries(opts.connect_retries);
+    match &opts.command {
+        Command::Submit(spec) => {
+            let response = client.submit(spec).map_err(|e| e.to_string())?;
+            if !opts.quiet {
+                eprintln!(
+                    "servectl: cache {} ({} bytes, {})",
+                    if response.hit { "hit" } else { "miss" },
+                    response.body.len(),
+                    response.content_type,
+                );
+            }
+            print!("{}", response.body);
+        }
+        Command::Stats => {
+            print!("{}", client.stats().map_err(|e| e.to_string())?);
+        }
+        Command::Ping => {
+            client.ping().map_err(|e| e.to_string())?;
+            if !opts.quiet {
+                eprintln!("servectl: {} is alive", opts.addr);
+            }
+        }
+        Command::Shutdown => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            if !opts.quiet {
+                eprintln!("servectl: asked {} to shut down", opts.addr);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("servectl: {msg}");
+            eprintln!(
+                "usage: servectl [--addr A] [--quiet] [--connect-retries N] \
+                 <submit <driver> [--workload paper|small] [--seed S] [--campaigns N] \
+                 [--arch A --kernel K] [--a FILE --b FILE] | stats | ping | shutdown>"
+            );
+            process::exit(2);
+        }
+    };
+    if let Err(e) = run(&opts) {
+        eprintln!("servectl: {e}");
+        process::exit(1);
+    }
+}

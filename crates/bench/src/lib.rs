@@ -4,7 +4,7 @@
 
 use triarch_kernels::WorkloadSet;
 
-pub mod benchjson;
+pub use triarch_core::benchjson;
 
 /// Seed shared by every bench so all runs see identical data.
 pub const SEED: u64 = 42;

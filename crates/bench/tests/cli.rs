@@ -166,3 +166,166 @@ fn quiet_flag_and_env_suppress_informational_stderr() {
     assert!(env.status.success());
     assert!(env.stderr.is_empty(), "TRIARCH_QUIET=1 left stderr: {}", stderr_of(&env));
 }
+
+#[test]
+fn perfgate_rejects_future_schema_and_truncated_artifacts_with_pinned_messages() {
+    let dir = tmp("perfgate-bad-artifacts");
+    let baseline = fs::read_to_string(baseline_path()).unwrap();
+
+    // A future schema version must fail closed with the exact message
+    // the benchjson parser pins.
+    let future = dir.join("future.json");
+    fs::write(&future, baseline.replacen("\"schema_version\": 2", "\"schema_version\": 99", 1))
+        .unwrap();
+    let out = perfgate(&[baseline_path().to_str().unwrap(), future.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains(
+            "schema check failed: unsupported schema version 99 \
+                         (this build reads versions 1..=2)"
+        ),
+        "{stderr}"
+    );
+
+    // A truncated artifact names the failing path, not a bare parse error.
+    let truncated = dir.join("truncated.json");
+    fs::write(&truncated, &baseline[..baseline.len() / 2]).unwrap();
+    let out = perfgate(&[baseline_path().to_str().unwrap(), truncated.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains("truncated.json: schema check failed:"),
+        "expected the named path and schema-check prefix in:\n{stderr}"
+    );
+}
+
+fn servectl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_servectl"))
+        .args(args)
+        .env_remove("TRIARCH_QUIET")
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn repro_serve_flags_are_validated_before_any_socket_work() {
+    // A malformed address is a usage error (exit 2), not a bind failure.
+    let out = repro(&["serve", "--addr", "nonsense"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("bad address 'nonsense'"), "{stderr}");
+    assert!(stderr.contains("usage: repro"), "{stderr}");
+
+    // Zero-width knobs are rejected eagerly.
+    for (flag, value) in [("--workers", "0"), ("--cache-entries", "0")] {
+        let out = repro(&["serve", flag, value]);
+        assert_eq!(out.status.code(), Some(2), "{flag}: {}", stderr_of(&out));
+        assert!(stderr_of(&out).contains("must be at least 1"), "{}", stderr_of(&out));
+    }
+
+    // Serve-only flags without the serve selector are usage errors.
+    let out = repro(&["--workers", "3", "table1"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("--workers requires the serve selector"));
+}
+
+#[test]
+fn servectl_usage_errors_exit_two_with_usage_text() {
+    let cases: &[&[&str]] = &[
+        &[],
+        &["frobnicate"],
+        &["--addr", "nonsense", "ping"],
+        &["submit"],
+        &["submit", "warp-drive"],
+        &["submit", "flame"],
+        &["submit", "profdiff"],
+        &["submit", "table3", "--arch", "viram"],
+        &["stats", "extra"],
+    ];
+    for args in cases {
+        let out = servectl(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {}", stderr_of(&out));
+        assert!(stderr_of(&out).contains("usage: servectl"), "args {args:?}: {}", stderr_of(&out));
+    }
+}
+
+#[test]
+fn servectl_connection_failure_exits_one_with_the_address() {
+    // Port 1 is privileged and unbound; the connection is refused.
+    let out = servectl(&["--addr", "127.0.0.1:1", "ping"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("cannot connect to 127.0.0.1:1"), "{stderr}");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_daemon_and_servectl_round_trip_over_a_unix_socket() {
+    let dir = tmp("serve-smoke");
+    let socket = format!("unix:{}", dir.join("daemon.sock").display());
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--addr", &socket, "--workers", "2", "--quiet", "--jobs", "1"])
+        .env_remove("TRIARCH_QUIET")
+        .env_remove("TRIARCH_JOBS")
+        .spawn()
+        .unwrap();
+
+    let run = || -> Result<(), String> {
+        let ping = servectl(&["--addr", &socket, "--connect-retries", "50", "ping"]);
+        if !ping.status.success() {
+            return Err(format!("ping failed: {}", stderr_of(&ping)));
+        }
+
+        let args = [
+            "--addr",
+            &socket,
+            "submit",
+            "flame",
+            "--workload",
+            "small",
+            "--arch",
+            "viram",
+            "--kernel",
+            "corner turn",
+        ];
+        let cold = servectl(&args);
+        if !cold.status.success() {
+            return Err(format!("cold submit failed: {}", stderr_of(&cold)));
+        }
+        if !stderr_of(&cold).contains("cache miss") {
+            return Err(format!("expected a cache miss note: {}", stderr_of(&cold)));
+        }
+
+        let warm = servectl(&args);
+        if !warm.status.success() {
+            return Err(format!("warm submit failed: {}", stderr_of(&warm)));
+        }
+        if !stderr_of(&warm).contains("cache hit") {
+            return Err(format!("expected a cache hit note: {}", stderr_of(&warm)));
+        }
+        if cold.stdout != warm.stdout {
+            return Err(String::from("warm artifact differs from cold artifact"));
+        }
+
+        let stats = servectl(&["--addr", &socket, "stats"]);
+        let dump = stdout_of(&stats);
+        if !dump.lines().any(|l| l == "triarch_serve_cache_hits 1") {
+            return Err(format!("expected triarch_serve_cache_hits 1 in:\n{dump}"));
+        }
+
+        let down = servectl(&["--addr", &socket, "shutdown"]);
+        if !down.status.success() {
+            return Err(format!("shutdown failed: {}", stderr_of(&down)));
+        }
+        Ok(())
+    };
+    let result = run();
+    if result.is_err() {
+        let _ = daemon.kill();
+    }
+    let status = daemon.wait().unwrap();
+    result.unwrap();
+    assert!(status.success(), "daemon exited with {status}");
+}

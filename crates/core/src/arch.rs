@@ -67,6 +67,14 @@ impl Architecture {
         }
     }
 
+    /// Parses a display name back into the architecture (the inverse of
+    /// [`Architecture::name`], matched case-insensitively). `None` for
+    /// anything that is not one of the study's five rows.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Architecture> {
+        Architecture::ALL.into_iter().find(|a| a.name().eq_ignore_ascii_case(name))
+    }
+
     /// Instantiates the machine with its paper configuration.
     ///
     /// The box is [`Send`] so the machine can move into a pool job.
@@ -255,6 +263,16 @@ mod tests {
         assert_eq!(names, vec!["PPC", "Altivec", "VIRAM", "Imagine", "Raw"]);
         assert_eq!(Architecture::RESEARCH.len(), 3);
         assert_eq!(Architecture::Viram.to_string(), "VIRAM");
+    }
+
+    #[test]
+    fn from_name_round_trips_and_rejects_unknowns() {
+        for arch in Architecture::ALL {
+            assert_eq!(Architecture::from_name(arch.name()), Some(arch));
+        }
+        assert_eq!(Architecture::from_name("viram"), Some(Architecture::Viram));
+        assert_eq!(Architecture::from_name("Cray"), None);
+        assert_eq!(Architecture::from_name(""), None);
     }
 
     #[test]

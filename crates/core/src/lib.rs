@@ -37,8 +37,10 @@
 
 pub mod ablations;
 pub mod arch;
+pub mod benchjson;
 pub mod chart;
 pub mod claims;
+pub mod driver;
 pub mod dse;
 pub mod experiments;
 pub mod faultsweep;

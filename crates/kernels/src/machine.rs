@@ -34,6 +34,14 @@ impl Kernel {
             Kernel::BeamSteering => "Beam Steering",
         }
     }
+
+    /// Parses a display name back into the kernel (the inverse of
+    /// [`Kernel::name`], matched case-insensitively). `None` for
+    /// anything that is not one of the study's three kernels.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        Kernel::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(name))
+    }
 }
 
 impl fmt::Display for Kernel {

@@ -294,7 +294,12 @@ impl<F> Shared<F> {
 }
 
 /// Renders a panic payload as text.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+///
+/// Public so other panic-containment sites (the serve daemon's job
+/// executor wraps driver runs in `catch_unwind` the same way this pool
+/// does) render payloads identically.
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

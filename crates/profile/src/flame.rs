@@ -27,16 +27,13 @@ const GLYPH_W: f64 = 6.6;
 /// Minimum frame width that still gets an inline label.
 const MIN_LABEL_W: f64 = 30.0;
 
-/// Deterministic warm palette: FNV-1a over the frame label mapped into
-/// the classic flamegraph red–orange–yellow band. Equal labels always
-/// get equal colors, across cells and across processes.
+/// Deterministic warm palette: FNV-1a over the frame label
+/// ([`crate::hash::fnv1a64`]) mapped into the classic flamegraph
+/// red–orange–yellow band. Equal labels always get equal colors, across
+/// cells and across processes.
 #[must_use]
 pub fn frame_color(label: &str) -> (u8, u8, u8) {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in label.bytes() {
-        h ^= u64::from(byte);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
+    let h = crate::hash::fnv1a64(label.as_bytes());
     let r = 205 + (h % 50) as u8;
     let g = 60 + ((h >> 8) % 120) as u8;
     let b = ((h >> 16) % 40) as u8;

@@ -1,0 +1,50 @@
+//! Deterministic FNV-1a hashing shared across the workspace.
+//!
+//! The 64-bit Fowler–Noll–Vo (variant 1a) hash is the workspace's one
+//! content-addressing primitive: the flamegraph palette derives frame
+//! colors from it ([`crate::flame::frame_color`]), and the serve layer
+//! hashes canonical job keys into cache addresses with it. It is chosen
+//! for the same reasons everywhere: fully deterministic (no per-process
+//! seeding, unlike [`std::collections::hash_map::RandomState`]),
+//! platform-independent, and trivial to reimplement for out-of-process
+//! consumers that want to predict an artifact id.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+///
+/// The result is stable across processes, platforms, and releases — it
+/// is part of the serve protocol's cache-addressing contract, so any
+/// change here is a job-schema change.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &byte in bytes {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn is_deterministic_and_input_sensitive() {
+        assert_eq!(fnv1a64(b"triarch"), fnv1a64(b"triarch"));
+        assert_ne!(fnv1a64(b"triarch"), fnv1a64(b"triarcH"));
+    }
+}

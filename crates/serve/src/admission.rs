@@ -1,0 +1,190 @@
+//! Bounded-queue admission control.
+//!
+//! At most `workers` jobs execute concurrently; at most `queue` more
+//! wait their turn. A request that arrives with the queue already full
+//! is rejected *immediately* with [`ServeError::QueueFull`] — typed,
+//! fast, and retry-safe — instead of queueing unboundedly and timing
+//! out. This is the daemon's graceful-degradation contract: under
+//! overload it sheds load at the door while everything already admitted
+//! finishes normally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use crate::{lock, ServeError};
+
+/// Mutable admission state under the lock.
+#[derive(Debug)]
+struct State {
+    /// Jobs currently executing (<= workers).
+    active: usize,
+    /// Jobs parked waiting for a worker (<= queue capacity).
+    waiting: usize,
+}
+
+/// A point-in-time view of the admission state, exported as
+/// `serve.queue.*` / `serve.inflight` metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Jobs currently executing.
+    pub active: usize,
+    /// Jobs parked in the queue.
+    pub waiting: usize,
+    /// Requests rejected at the door since startup.
+    pub rejected: u64,
+    /// The concurrent-execution bound.
+    pub workers: usize,
+    /// The queue bound.
+    pub capacity: usize,
+}
+
+/// The admission gate.
+#[derive(Debug)]
+pub struct Admission {
+    workers: usize,
+    capacity: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+    rejected: AtomicU64,
+}
+
+impl Admission {
+    /// A gate running at most `workers` jobs with at most `queue`
+    /// waiting (both at least 1 worker; a zero-length queue is allowed
+    /// and means "reject whenever all workers are busy").
+    #[must_use]
+    pub fn new(workers: usize, queue: usize) -> Admission {
+        Admission {
+            workers: workers.max(1),
+            capacity: queue,
+            state: Mutex::new(State { active: 0, waiting: 0 }),
+            cv: Condvar::new(),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits one job, blocking in the bounded queue if every worker is
+    /// busy. Drop the returned permit to release the worker slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the queue is already at capacity;
+    /// the rejection is immediate and counted.
+    pub fn admit(&self) -> Result<Permit<'_>, ServeError> {
+        let mut state = lock(&self.state);
+        if state.active < self.workers {
+            state.active += 1;
+            return Ok(Permit { admission: self });
+        }
+        if state.waiting >= self.capacity {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull { depth: state.waiting, capacity: self.capacity });
+        }
+        state.waiting += 1;
+        while state.active >= self.workers {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        state.waiting -= 1;
+        state.active += 1;
+        Ok(Permit { admission: self })
+    }
+
+    /// A point-in-time view of the gate.
+    #[must_use]
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let state = lock(&self.state);
+        AdmissionSnapshot {
+            active: state.active,
+            waiting: state.waiting,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            workers: self.workers,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// An admitted job's worker slot; dropping it wakes one queued request.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = lock(&self.admission.state);
+        state.active = state.active.saturating_sub(1);
+        drop(state);
+        self.admission.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    use super::*;
+
+    #[test]
+    fn admits_up_to_workers_then_queues_then_rejects() {
+        let gate = Arc::new(Admission::new(1, 1));
+        let first = gate.admit().unwrap();
+        assert_eq!(gate.snapshot().active, 1);
+
+        // Second request must queue; run it on a thread.
+        let queued = {
+            let gate: Arc<Admission> = Arc::clone(&gate);
+            thread::spawn(move || {
+                let permit = gate.admit().unwrap();
+                drop(permit);
+            })
+        };
+        while gate.snapshot().waiting != 1 {
+            thread::sleep(Duration::from_millis(1));
+        }
+
+        // Third request finds the queue full: immediate typed rejection.
+        let err = gate.admit().unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { depth: 1, capacity: 1 });
+        assert_eq!(gate.snapshot().rejected, 1);
+
+        // Releasing the first permit drains the queue.
+        drop(first);
+        queued.join().unwrap();
+        let snap = gate.snapshot();
+        assert_eq!((snap.active, snap.waiting), (0, 0));
+    }
+
+    #[test]
+    fn zero_queue_rejects_whenever_workers_are_busy() {
+        let gate = Admission::new(1, 0);
+        let permit = gate.admit().unwrap();
+        let err = gate.admit().unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { depth: 0, capacity: 0 });
+        drop(permit);
+        assert!(gate.admit().is_ok());
+    }
+
+    #[test]
+    fn permits_release_on_drop_even_across_threads() {
+        // Queue deep enough that all 8 concurrent requests fit (2
+        // running + up to 6 waiting): nothing should be rejected.
+        let gate = Arc::new(Admission::new(2, 8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                thread::spawn(move || {
+                    let permit = gate.admit().unwrap();
+                    thread::sleep(Duration::from_millis(2));
+                    drop(permit);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = gate.snapshot();
+        assert_eq!((snap.active, snap.waiting, snap.rejected), (0, 0, 0));
+    }
+}

@@ -1,0 +1,307 @@
+//! The content-addressed, single-flight result cache.
+//!
+//! Keys are canonical job strings
+//! ([`JobSpec::canonical`](crate::JobSpec::canonical)); values are
+//! finished [`Artifact`]s.
+//! Because every driver is a pure function of its canonical inputs, a
+//! stored artifact can never go stale — the only cache policy needed is
+//! a size bound (least-recently-used eviction over completed entries).
+//!
+//! **Single flight:** when a request misses, it installs a `Building`
+//! slot and computes; concurrent requests for the same key find the
+//! slot, park on its condvar, and receive the one result when it lands
+//! (counted as `coalesced`, answered as cache hits). Failed builds are
+//! never cached: the error propagates to every coalesced waiter and the
+//! slot is removed, so the next request retries from scratch.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use triarch_simcore::SimError;
+
+use crate::{lock, Artifact};
+
+/// A pending computation other requests can park on.
+struct Build {
+    /// `None` while the owning request computes; the shared result
+    /// afterwards.
+    done: Mutex<Option<Result<Arc<Artifact>, SimError>>>,
+    cv: Condvar,
+}
+
+/// One cache slot: either a computation in flight or a finished result.
+enum Slot {
+    Building(Arc<Build>),
+    Ready(Arc<Artifact>),
+}
+
+/// Map plus LRU order (the deque holds only `Ready` keys, least
+/// recently used at the front).
+struct CacheInner {
+    slots: HashMap<String, Slot>,
+    order: VecDeque<String>,
+}
+
+/// Monotonic cache counters, exported as `serve.cache.*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from a stored artifact.
+    pub hits: u64,
+    /// Requests that computed (and, on success, stored) their artifact.
+    pub misses: u64,
+    /// Requests that parked on a concurrent identical computation.
+    pub coalesced: u64,
+    /// Completed entries discarded by the LRU bound.
+    pub evictions: u64,
+    /// Completed entries currently stored.
+    pub entries: usize,
+    /// The entry bound.
+    pub capacity: usize,
+}
+
+/// The bounded single-flight result cache.
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache bounded to `capacity` completed entries (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner { slots: HashMap::new(), order: VecDeque::new() }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the artifact for `key`, computing it with `build` on a
+    /// miss. The boolean is `true` when the artifact came from the cache
+    /// (stored, or coalesced onto a concurrent computation) and `false`
+    /// when this call computed it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error to this caller and every coalesced
+    /// waiter; errors are never stored.
+    pub fn get_or_build(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<Artifact, SimError>,
+    ) -> Result<(Arc<Artifact>, bool), SimError> {
+        let pending = {
+            let mut inner = lock(&self.inner);
+            match inner.slots.get(key) {
+                Some(Slot::Ready(artifact)) => {
+                    let artifact = Arc::clone(artifact);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    touch(&mut inner.order, key);
+                    return Ok((artifact, true));
+                }
+                Some(Slot::Building(build)) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    Some(Arc::clone(build))
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    inner.slots.insert(
+                        key.to_string(),
+                        Slot::Building(Arc::new(Build {
+                            done: Mutex::new(None),
+                            cv: Condvar::new(),
+                        })),
+                    );
+                    None
+                }
+            }
+        };
+
+        if let Some(pending) = pending {
+            // Coalesce: park until the owning request publishes.
+            let mut done = lock(&pending.done);
+            while done.is_none() {
+                done = self.wait(&pending.cv, done);
+            }
+            #[allow(clippy::unwrap_used)] // loop above guarantees Some
+            return done.clone().unwrap().map(|artifact| (artifact, true));
+        }
+
+        // This call owns the build. Never cache errors; always publish.
+        let result = build().map(Arc::new);
+        let publish = {
+            let mut inner = lock(&self.inner);
+            let slot = inner.slots.remove(key);
+            if let Ok(artifact) = &result {
+                inner.slots.insert(key.to_string(), Slot::Ready(Arc::clone(artifact)));
+                inner.order.push_back(key.to_string());
+                while inner.order.len() > self.capacity {
+                    if let Some(evicted) = inner.order.pop_front() {
+                        inner.slots.remove(&evicted);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            match slot {
+                Some(Slot::Building(build)) => Some(build),
+                _ => None,
+            }
+        };
+        if let Some(build_slot) = publish {
+            *lock(&build_slot.done) = Some(result.clone());
+            build_slot.cv.notify_all();
+        }
+        result.map(|artifact| (artifact, false))
+    }
+
+    /// Condvar wait that recovers from poisoning like [`lock`].
+    fn wait<'a, T>(
+        &self,
+        cv: &Condvar,
+        guard: std::sync::MutexGuard<'a, T>,
+    ) -> std::sync::MutexGuard<'a, T> {
+        cv.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A consistent snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: lock(&self.inner).order.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Moves `key` to the most-recently-used end.
+fn touch(order: &mut VecDeque<String>, key: &str) {
+    if let Some(i) = order.iter().position(|k| k == key) {
+        if let Some(k) = order.remove(i) {
+            order.push_back(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    use super::*;
+
+    fn artifact(body: &str) -> Artifact {
+        Artifact { content_type: String::from("text/plain"), body: String::from(body) }
+    }
+
+    #[test]
+    fn miss_then_hit_returns_identical_bytes() {
+        let cache = ResultCache::new(4);
+        let builds = AtomicUsize::new(0);
+        let build = || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            Ok(artifact("table"))
+        };
+        let (cold, hit) = cache.get_or_build("k", build).unwrap();
+        assert!(!hit);
+        let (warm, hit) = cache.get_or_build("k", || panic!("must not rebuild")).unwrap();
+        assert!(hit);
+        assert_eq!(cold.body, warm.body);
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ResultCache::new(4);
+        let err = cache.get_or_build("k", || Err(SimError::unsupported("boom"))).unwrap_err();
+        assert_eq!(err, SimError::unsupported("boom"));
+        assert_eq!(cache.stats().entries, 0);
+        // The next request retries from scratch and can succeed.
+        let (a, hit) = cache.get_or_build("k", || Ok(artifact("ok"))).unwrap();
+        assert!(!hit);
+        assert_eq!(a.body, "ok");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = ResultCache::new(2);
+        cache.get_or_build("a", || Ok(artifact("a"))).unwrap();
+        cache.get_or_build("b", || Ok(artifact("b"))).unwrap();
+        // Touch "a" so "b" is the LRU victim.
+        cache.get_or_build("a", || panic!("cached")).unwrap();
+        cache.get_or_build("c", || Ok(artifact("c"))).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 1));
+        // "b" was evicted: rebuilding it is a miss (which in turn evicts
+        // "a", now the least recently used).
+        let (_, hit) = cache.get_or_build("b", || Ok(artifact("b"))).unwrap();
+        assert!(!hit);
+        // "c" survived both evictions.
+        let (_, hit) = cache.get_or_build("c", || panic!("cached")).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_onto_one_build() {
+        let cache = Arc::new(ResultCache::new(4));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+
+        let owner = {
+            let cache = Arc::clone(&cache);
+            let builds = Arc::clone(&builds);
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || {
+                cache
+                    .get_or_build("k", move || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        let (held, cv) = &*gate;
+                        let mut held = held.lock().unwrap();
+                        while !*held {
+                            held = cv.wait(held).unwrap();
+                        }
+                        Ok(artifact("one"))
+                    })
+                    .unwrap()
+            })
+        };
+        // Wait until the owner's build slot is installed.
+        while cache.stats().misses == 0 {
+            thread::yield_now();
+        }
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.get_or_build("k", || panic!("coalesced")).unwrap())
+        };
+        while cache.stats().coalesced == 0 {
+            thread::yield_now();
+        }
+        {
+            let (held, cv) = &*gate;
+            *held.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let (a, owner_hit) = owner.join().unwrap();
+        let (b, waiter_hit) = waiter.join().unwrap();
+        assert!(!owner_hit);
+        assert!(waiter_hit, "coalesced waiter counts as a cache hit");
+        assert_eq!(a.body, b.body);
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.coalesced, stats.hits), (1, 1, 0));
+    }
+}

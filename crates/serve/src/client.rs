@@ -1,0 +1,132 @@
+//! The blocking client (`servectl` wraps it; tests drive it directly).
+//!
+//! One request per connection: each call dials the server, writes one
+//! frame, reads one frame, and closes. Error frames come back as
+//! [`ServeError::Remote`] carrying the server's stable error code, so
+//! callers can distinguish an overloaded daemon (retry later) from a
+//! rejected request (fix the request).
+
+use std::thread;
+use std::time::Duration;
+
+use crate::protocol::{self, FrameKind};
+use crate::server::{connect, Addr, IO_TIMEOUT};
+use crate::{JobSpec, ServeError};
+
+/// Delay between connection retries (daemon startup races in CI).
+const RETRY_DELAY: Duration = Duration::from_millis(100);
+
+/// A successfully served job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitResponse {
+    /// Whether the cache answered (stored entry or coalesced build).
+    pub hit: bool,
+    /// The artifact's media type.
+    pub content_type: String,
+    /// The artifact bytes, verbatim.
+    pub body: String,
+}
+
+/// A blocking triarch-serve client.
+pub struct Client {
+    addr: Addr,
+    connect_retries: u32,
+}
+
+impl Client {
+    /// A client for `addr` that fails fast on connection errors.
+    #[must_use]
+    pub fn new(addr: Addr) -> Client {
+        Client { addr, connect_retries: 0 }
+    }
+
+    /// Retries refused connections `retries` times (100 ms apart)
+    /// before giving up — tolerates a daemon that is still binding.
+    #[must_use]
+    pub fn with_connect_retries(mut self, retries: u32) -> Client {
+        self.connect_retries = retries;
+        self
+    }
+
+    /// Submits a job and returns the artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] for server-reported failures (overload,
+    /// bad request, simulation error), [`ServeError::Io`] for transport
+    /// failures.
+    pub fn submit(&self, spec: &JobSpec) -> Result<SubmitResponse, ServeError> {
+        let reply = self.round_trip(FrameKind::JobRequest, spec.to_json().as_bytes())?;
+        let hit = match reply.kind {
+            FrameKind::OkHit => true,
+            FrameKind::OkMiss => false,
+            kind => {
+                return Err(ServeError::bad_frame(format!(
+                    "unexpected reply kind {kind:?} to a job request"
+                )));
+            }
+        };
+        let (content_type, body) = protocol::decode_artifact(&reply.body)?;
+        Ok(SubmitResponse { hit, content_type, body })
+    }
+
+    /// Fetches the server's `serve.*` metrics dump (Prometheus text).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`submit`](Client::submit).
+    pub fn stats(&self) -> Result<String, ServeError> {
+        let reply = self.round_trip(FrameKind::StatsRequest, b"")?;
+        String::from_utf8(reply.body).map_err(|_| ServeError::bad_frame("stats body is not UTF-8"))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`submit`](Client::submit).
+    pub fn ping(&self) -> Result<(), ServeError> {
+        self.round_trip(FrameKind::PingRequest, b"").map(|_| ())
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`submit`](Client::submit).
+    pub fn shutdown(&self) -> Result<(), ServeError> {
+        self.round_trip(FrameKind::ShutdownRequest, b"").map(|_| ())
+    }
+
+    /// Dials (with retries), sends one frame, reads the reply, and maps
+    /// error frames onto [`ServeError::Remote`].
+    fn round_trip(&self, kind: FrameKind, body: &[u8]) -> Result<protocol::Frame, ServeError> {
+        let mut stream = self.dial()?;
+        stream.set_timeouts(IO_TIMEOUT).map_err(|e| ServeError::io(&e))?;
+        protocol::write_frame(&mut stream, kind, body)?;
+        let reply = protocol::read_frame(&mut stream)?;
+        if reply.kind == FrameKind::Error {
+            return Err(protocol::decode_error(&reply.body));
+        }
+        Ok(reply)
+    }
+
+    fn dial(&self) -> Result<crate::server::Stream, ServeError> {
+        let mut attempt = 0;
+        loop {
+            match connect(&self.addr) {
+                Ok(stream) => return Ok(stream),
+                Err(e) if attempt < self.connect_retries => {
+                    attempt += 1;
+                    thread::sleep(RETRY_DELAY);
+                    let _ = e;
+                }
+                Err(e) => {
+                    return Err(ServeError::Io {
+                        what: format!("cannot connect to {}: {e}", self.addr),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The wire protocol: versioned, length-prefixed frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "TRSV"
+//! 4       1     protocol version (PROTOCOL_VERSION)
+//! 5       1     frame kind (FrameKind)
+//! 6       4     body length, big-endian u32 (<= MAX_FRAME_LEN)
+//! 10      len   body bytes
+//! ```
+//!
+//! A connection carries exactly one request frame and one response
+//! frame; the transport is closed afterwards. Bodies are UTF-8:
+//!
+//! * [`FrameKind::JobRequest`] — a [`JobSpec`](crate::JobSpec) JSON
+//!   document;
+//! * [`FrameKind::OkMiss`] / [`FrameKind::OkHit`] — the artifact's
+//!   content type, a newline, then the artifact bytes (the kind byte
+//!   tells the client whether the cache served it);
+//! * [`FrameKind::Error`] — the error's stable code, a newline, then
+//!   the rendered message.
+//!
+//! Version checks happen before body reads: a frame with a bad magic is
+//! [`ServeError::BadFrame`], a known magic with a different version byte
+//! is [`ServeError::UnsupportedVersion`], and both are answered with an
+//! error frame (the error reply always uses this build's version, which
+//! every client can at least partially decode because the header layout
+//! is fixed across versions).
+
+use std::io::{Read, Write};
+
+use crate::ServeError;
+
+/// Frame magic: the first four bytes of every triarch-serve message.
+pub const MAGIC: [u8; 4] = *b"TRSV";
+
+/// The protocol revision this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Fixed header size in bytes (magic + version + kind + body length).
+pub const HEADER_LEN: usize = 10;
+
+/// Upper bound on a frame body (a paper-workload HTML report is ~1 MiB;
+/// 64 MiB leaves generous headroom while bounding a hostile length
+/// prefix).
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// What a frame means. Requests are < 16, responses >= 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: run (or fetch) a job.
+    JobRequest,
+    /// Client → server: return the `serve.*` metrics dump.
+    StatsRequest,
+    /// Client → server: drain and exit.
+    ShutdownRequest,
+    /// Client → server: liveness probe.
+    PingRequest,
+    /// Server → client: success, computed by this request.
+    OkMiss,
+    /// Server → client: success, served from the result cache (or
+    /// coalesced onto a concurrent identical computation).
+    OkHit,
+    /// Server → client: the request failed; body is `code\nmessage`.
+    Error,
+}
+
+impl FrameKind {
+    /// The kind's wire byte.
+    #[must_use]
+    pub fn byte(self) -> u8 {
+        match self {
+            FrameKind::JobRequest => 1,
+            FrameKind::StatsRequest => 2,
+            FrameKind::ShutdownRequest => 3,
+            FrameKind::PingRequest => 4,
+            FrameKind::OkMiss => 16,
+            FrameKind::OkHit => 17,
+            FrameKind::Error => 18,
+        }
+    }
+
+    /// Decodes a wire byte back into a kind.
+    #[must_use]
+    pub fn from_byte(byte: u8) -> Option<FrameKind> {
+        match byte {
+            1 => Some(FrameKind::JobRequest),
+            2 => Some(FrameKind::StatsRequest),
+            3 => Some(FrameKind::ShutdownRequest),
+            4 => Some(FrameKind::PingRequest),
+            16 => Some(FrameKind::OkMiss),
+            17 => Some(FrameKind::OkHit),
+            18 => Some(FrameKind::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame means.
+    pub kind: FrameKind,
+    /// The frame body (UTF-8 by convention, not enforced here).
+    pub body: Vec<u8>,
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`ServeError::BadFrame`] when `body` exceeds [`MAX_FRAME_LEN`],
+/// [`ServeError::Io`] on transport failure.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, body: &[u8]) -> Result<(), ServeError> {
+    let len =
+        u32::try_from(body.len()).ok().filter(|len| *len <= MAX_FRAME_LEN).ok_or_else(|| {
+            ServeError::bad_frame(format!("body of {} bytes exceeds limit", body.len()))
+        })?;
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4] = PROTOCOL_VERSION;
+    header[5] = kind.byte();
+    header[6..].copy_from_slice(&len.to_be_bytes());
+    w.write_all(&header).map_err(|e| ServeError::io(&e))?;
+    w.write_all(body).map_err(|e| ServeError::io(&e))?;
+    w.flush().map_err(|e| ServeError::io(&e))?;
+    Ok(())
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// [`ServeError::BadFrame`] for a bad magic, unknown kind byte, or
+/// oversized body; [`ServeError::UnsupportedVersion`] for a foreign
+/// version byte; [`ServeError::Io`] for transport failure or truncation.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ServeError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header).map_err(|e| ServeError::io(&e))?;
+    if header[..4] != MAGIC {
+        return Err(ServeError::bad_frame(format!(
+            "bad magic {:02x}{:02x}{:02x}{:02x} (expected \"TRSV\")",
+            header[0], header[1], header[2], header[3]
+        )));
+    }
+    if header[4] != PROTOCOL_VERSION {
+        return Err(ServeError::UnsupportedVersion { got: header[4], want: PROTOCOL_VERSION });
+    }
+    let kind = FrameKind::from_byte(header[5])
+        .ok_or_else(|| ServeError::bad_frame(format!("unknown frame kind {}", header[5])))?;
+    let len = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::bad_frame(format!(
+            "declared body of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(|e| ServeError::io(&e))?;
+    Ok(Frame { kind, body })
+}
+
+/// Encodes an error as an error-frame body: `code\nmessage`.
+#[must_use]
+pub fn encode_error(e: &ServeError) -> Vec<u8> {
+    format!("{}\n{e}", e.code()).into_bytes()
+}
+
+/// Decodes an error-frame body back into [`ServeError::Remote`].
+#[must_use]
+pub fn decode_error(body: &[u8]) -> ServeError {
+    let text = String::from_utf8_lossy(body);
+    let (code, message) = text.split_once('\n').unwrap_or(("unknown", &*text));
+    ServeError::Remote { code: code.to_string(), message: message.to_string() }
+}
+
+/// Encodes a success body: the content type, a newline, the artifact.
+#[must_use]
+pub fn encode_artifact(content_type: &str, body: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(content_type.len() + 1 + body.len());
+    out.extend_from_slice(content_type.as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Splits a success body back into `(content_type, artifact)`.
+///
+/// # Errors
+///
+/// [`ServeError::BadFrame`] when the body is not UTF-8 or lacks the
+/// content-type line.
+pub fn decode_artifact(body: &[u8]) -> Result<(String, String), ServeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::bad_frame("response body is not UTF-8"))?;
+    let (content_type, artifact) = text
+        .split_once('\n')
+        .ok_or_else(|| ServeError::bad_frame("response body lacks a content-type line"))?;
+    Ok((content_type.to_string(), artifact.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::JobRequest, b"{\"schema\": 1}").unwrap();
+        assert_eq!(&wire[..4], b"TRSV");
+        assert_eq!(wire[4], PROTOCOL_VERSION);
+        let frame = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(frame.kind, FrameKind::JobRequest);
+        assert_eq!(frame.body, b"{\"schema\": 1}");
+    }
+
+    #[test]
+    fn every_kind_byte_round_trips() {
+        for kind in [
+            FrameKind::JobRequest,
+            FrameKind::StatsRequest,
+            FrameKind::ShutdownRequest,
+            FrameKind::PingRequest,
+            FrameKind::OkMiss,
+            FrameKind::OkHit,
+            FrameKind::Error,
+        ] {
+            assert_eq!(FrameKind::from_byte(kind.byte()), Some(kind));
+        }
+        assert_eq!(FrameKind::from_byte(0), None);
+        assert_eq!(FrameKind::from_byte(255), None);
+    }
+
+    #[test]
+    fn bad_magic_and_foreign_version_are_typed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::PingRequest, b"").unwrap();
+
+        let mut bad_magic = wire.clone();
+        bad_magic[0] = b'X';
+        let err = read_frame(&mut bad_magic.as_slice()).unwrap_err();
+        assert!(matches!(err, ServeError::BadFrame { .. }), "{err:?}");
+
+        let mut bad_version = wire.clone();
+        bad_version[4] = 9;
+        let err = read_frame(&mut bad_version.as_slice()).unwrap_err();
+        assert_eq!(err, ServeError::UnsupportedVersion { got: 9, want: PROTOCOL_VERSION });
+
+        let mut bad_kind = wire;
+        bad_kind[5] = 200;
+        let err = read_frame(&mut bad_kind.as_slice()).unwrap_err();
+        assert!(matches!(err, ServeError::BadFrame { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_frames_and_hostile_lengths_are_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::OkMiss, b"abcdef").unwrap();
+        let err = read_frame(&mut wire[..wire.len() - 2].as_ref()).unwrap_err();
+        assert!(matches!(err, ServeError::Io { .. }), "{err:?}");
+
+        // A header declaring a body far past the limit must be rejected
+        // before any allocation.
+        let mut hostile = wire[..HEADER_LEN].to_vec();
+        hostile[6..].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut hostile.as_slice()).unwrap_err();
+        assert!(matches!(err, ServeError::BadFrame { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn error_and_artifact_bodies_round_trip() {
+        let e = ServeError::QueueFull { depth: 2, capacity: 2 };
+        let decoded = decode_error(&encode_error(&e));
+        assert_eq!(
+            decoded,
+            ServeError::Remote {
+                code: String::from("queue-full"),
+                message: String::from("admission queue full: 2 waiting of capacity 2"),
+            }
+        );
+
+        let body = encode_artifact("text/html", "<html>\nline two</html>");
+        let (ct, artifact) = decode_artifact(&body).unwrap();
+        assert_eq!(ct, "text/html");
+        assert_eq!(artifact, "<html>\nline two</html>");
+    }
+}

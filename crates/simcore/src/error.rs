@@ -57,6 +57,20 @@ pub enum SimError {
         /// The panic payload rendered as text.
         what: String,
     },
+    /// A serving layer refused admission: every worker was busy and the
+    /// bounded queue was full (or a connection limit was hit). The
+    /// request was rejected before any simulation work started, so
+    /// retrying later is always safe.
+    Overloaded {
+        /// Human-readable description of the exhausted resource.
+        what: String,
+    },
+    /// A wire-protocol violation: a malformed frame, an unsupported
+    /// protocol or job-schema version, or an undecodable request body.
+    Protocol {
+        /// Human-readable description of the violation.
+        what: String,
+    },
 }
 
 impl SimError {
@@ -85,6 +99,16 @@ impl SimError {
         SimError::JobPanicked { job, what: what.into() }
     }
 
+    /// Convenience constructor for [`SimError::Overloaded`].
+    pub fn overloaded(what: impl Into<String>) -> Self {
+        SimError::Overloaded { what: what.into() }
+    }
+
+    /// Convenience constructor for [`SimError::Protocol`].
+    pub fn protocol(what: impl Into<String>) -> Self {
+        SimError::Protocol { what: what.into() }
+    }
+
     /// True for errors that represent a *detected* abnormal run (watchdog
     /// or fault detection) rather than a configuration/shape problem.
     #[must_use]
@@ -111,6 +135,8 @@ impl fmt::Display for SimError {
             SimError::JobPanicked { job, what } => {
                 write!(f, "parallel job {job} panicked: {what}")
             }
+            SimError::Overloaded { what } => write!(f, "server overloaded: {what}"),
+            SimError::Protocol { what } => write!(f, "protocol error: {what}"),
         }
     }
 }
@@ -145,6 +171,15 @@ mod tests {
 
         let e = SimError::job_panicked(3, "index out of bounds");
         assert_eq!(e.to_string(), "parallel job 3 panicked: index out of bounds");
+
+        let e = SimError::overloaded("admission queue full: 1 waiting of capacity 1");
+        assert_eq!(
+            e.to_string(),
+            "server overloaded: admission queue full: 1 waiting of capacity 1"
+        );
+
+        let e = SimError::protocol("bad frame magic");
+        assert_eq!(e.to_string(), "protocol error: bad frame magic");
     }
 
     /// Every variant must render a non-empty, lowercase-leading message.
@@ -160,6 +195,8 @@ mod tests {
             SimError::BudgetExceeded { spent: 2, limit: 1 },
             SimError::detected_fault("x"),
             SimError::job_panicked(0, "x"),
+            SimError::overloaded("x"),
+            SimError::protocol("x"),
         ];
         for e in samples {
             // Exhaustive: no `_` arm, so new variants break this test at
@@ -172,6 +209,8 @@ mod tests {
                 SimError::BudgetExceeded { .. } => true,
                 SimError::DetectedFault { .. } => true,
                 SimError::JobPanicked { .. } => false,
+                SimError::Overloaded { .. } => false,
+                SimError::Protocol { .. } => false,
             };
             assert_eq!(e.is_detected_abort(), expect_detected_abort, "{e:?}");
             let msg = e.to_string();

@@ -1,0 +1,267 @@
+//! End-to-end validation of the `triarch-serve` daemon: determinism
+//! (cold miss, warm hit, and in-process driver output are byte
+//! identical), graceful degradation (typed queue-full rejection under
+//! pinned workers, counted in `serve.*`), single-flight coalescing,
+//! wire-protocol robustness against hostile frames, and the Unix-socket
+//! transport.
+//!
+//! Every test binds to an ephemeral endpoint (`127.0.0.1:0` or a
+//! tempdir socket path), so the suite is parallel-safe and never
+//! collides with a developer's running daemon.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use triarch_core::arch::Architecture;
+use triarch_core::driver::{self, DriverKind, JobSpec, WorkloadKind};
+use triarch_kernels::machine::Kernel;
+use triarch_serve::{
+    parse_addr, serve, Addr, Client, HoldGate, ServeConfig, ServeError, ServerHandle,
+};
+
+/// Starts a quiet daemon on an ephemeral TCP port.
+fn start(configure: impl FnOnce(&mut ServeConfig)) -> (ServerHandle, Client) {
+    let mut config = ServeConfig::new(parse_addr("127.0.0.1:0").unwrap());
+    config.quiet = true;
+    configure(&mut config);
+    let handle = serve(config).unwrap();
+    let client = Client::new(handle.addr().clone());
+    (handle, client)
+}
+
+/// A cheap single-cell job with a distinct cache key per kernel.
+fn flame_job(kernel: Kernel) -> JobSpec {
+    let mut spec = JobSpec::new(DriverKind::Flame, WorkloadKind::Small);
+    spec.cell = Some((Architecture::Viram, kernel));
+    spec
+}
+
+/// Polls the daemon's stats dump until `line` appears (or panics after
+/// ten seconds). Stats requests bypass admission, so this works even
+/// while every worker is pinned.
+fn await_stats_line(client: &Client, line: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats().unwrap();
+        if stats.lines().any(|l| l == line) {
+            return stats;
+        }
+        assert!(Instant::now() < deadline, "stats never showed {line:?}; last dump:\n{stats}");
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn table3_cold_warm_and_direct_artifacts_are_byte_identical() {
+    let (handle, client) = start(|_| {});
+    let spec = JobSpec::new(DriverKind::Table3, WorkloadKind::Small);
+
+    let cold = client.submit(&spec).unwrap();
+    assert!(!cold.hit, "first request must be a cache miss");
+    let warm = client.submit(&spec).unwrap();
+    assert!(warm.hit, "second identical request must be a cache hit");
+    let direct = driver::run_job(&spec, 1).unwrap();
+
+    assert_eq!(cold.body, warm.body, "warm hit must be byte-identical to the cold miss");
+    assert_eq!(cold.body, direct.body, "served artifact must match the in-process driver");
+    assert_eq!(cold.content_type, direct.content_type);
+    assert!(cold.body.contains("== Table 3: experimental results (kilocycles) =="));
+
+    let stats = client.stats().unwrap();
+    for line in ["triarch_serve_cache_hits 1", "triarch_serve_cache_misses 1"] {
+        assert!(stats.lines().any(|l| l == line), "missing {line:?} in:\n{stats}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn report_html_cold_warm_and_direct_artifacts_are_byte_identical() {
+    let (handle, client) = start(|_| {});
+    let mut spec = JobSpec::new(DriverKind::Report, WorkloadKind::Small);
+    spec.campaigns = 2;
+
+    let cold = client.submit(&spec).unwrap();
+    assert!(!cold.hit);
+    let warm = client.submit(&spec).unwrap();
+    assert!(warm.hit);
+    let direct = driver::run_job(&spec, 1).unwrap();
+
+    assert_eq!(cold.body, warm.body);
+    assert_eq!(cold.body, direct.body);
+    assert_eq!(cold.content_type, "text/html");
+    handle.shutdown();
+}
+
+#[test]
+fn overload_rejection_is_typed_immediate_and_counted() {
+    let hold = Arc::new(HoldGate::new());
+    let (handle, client) = start(|config| {
+        config.workers = 1;
+        config.queue = 1;
+        config.hold = Some(Arc::clone(&hold));
+    });
+
+    // First job occupies the only worker (its build parks on the gate).
+    let first = {
+        let client = Client::new(handle.addr().clone());
+        thread::spawn(move || client.submit(&flame_job(Kernel::CornerTurn)).unwrap())
+    };
+    await_stats_line(&client, "triarch_serve_inflight 1.0");
+
+    // Second job fills the one-slot admission queue.
+    let second = {
+        let client = Client::new(handle.addr().clone());
+        thread::spawn(move || client.submit(&flame_job(Kernel::Cslc)).unwrap())
+    };
+    await_stats_line(&client, "triarch_serve_queue_depth 1.0");
+
+    // Third job is rejected at the door: typed, immediate, no hang.
+    let err = client.submit(&flame_job(Kernel::BeamSteering)).unwrap_err();
+    match &err {
+        ServeError::Remote { code, message } => {
+            assert_eq!(code, "queue-full");
+            assert_eq!(message, "admission queue full: 1 waiting of capacity 1");
+        }
+        other => panic!("expected a queue-full rejection, got {other:?}"),
+    }
+    let stats = await_stats_line(&client, "triarch_serve_queue_rejected 1");
+    assert!(stats.lines().any(|l| l == "triarch_serve_queue_capacity 1.0"), "{stats}");
+
+    // Releasing the gate drains everything already admitted.
+    hold.release();
+    assert!(!first.join().unwrap().hit);
+    assert!(!second.join().unwrap().hit);
+    handle.shutdown();
+}
+
+#[test]
+fn identical_concurrent_requests_coalesce_onto_one_build() {
+    let hold = Arc::new(HoldGate::new());
+    let (handle, client) = start(|config| {
+        config.hold = Some(Arc::clone(&hold));
+    });
+
+    let owner = {
+        let client = Client::new(handle.addr().clone());
+        thread::spawn(move || client.submit(&flame_job(Kernel::CornerTurn)).unwrap())
+    };
+    await_stats_line(&client, "triarch_serve_cache_misses 1");
+    let waiter = {
+        let client = Client::new(handle.addr().clone());
+        thread::spawn(move || client.submit(&flame_job(Kernel::CornerTurn)).unwrap())
+    };
+    await_stats_line(&client, "triarch_serve_cache_coalesced 1");
+    hold.release();
+
+    let owner = owner.join().unwrap();
+    let waiter = waiter.join().unwrap();
+    assert!(!owner.hit, "the owning request computed the artifact");
+    assert!(waiter.hit, "the coalesced waiter counts as a cache hit");
+    assert_eq!(owner.body, waiter.body);
+
+    let stats = client.stats().unwrap();
+    for line in ["triarch_serve_cache_misses 1", "triarch_serve_cache_coalesced 1"] {
+        assert!(stats.lines().any(|l| l == line), "missing {line:?} in:\n{stats}");
+    }
+    handle.shutdown();
+}
+
+/// Writes raw bytes to the daemon and decodes the error-frame reply as
+/// `(code, message)`.
+fn raw_error_round_trip(addr: &Addr, request: &[u8]) -> (String, String) {
+    let Addr::Tcp(addr) = addr else { panic!("raw tests use TCP") };
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(request).unwrap();
+    stream.flush().unwrap();
+
+    let mut header = [0u8; 10];
+    stream.read_exact(&mut header).unwrap();
+    assert_eq!(&header[..4], b"TRSV", "reply must carry the protocol magic");
+    assert_eq!(header[4], 1, "error replies use this build's version");
+    assert_eq!(header[5], 18, "reply must be an error frame");
+    let len = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body).unwrap();
+    let body = String::from_utf8(body).unwrap();
+    let (code, message) = body.split_once('\n').unwrap();
+    (code.to_string(), message.to_string())
+}
+
+/// A raw frame: magic + version + kind + big-endian length + body.
+fn frame(version: u8, kind: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::from(*b"TRSV");
+    out.push(version);
+    out.push(kind);
+    out.extend_from_slice(&u32::try_from(body.len()).unwrap().to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+#[test]
+fn hostile_frames_get_typed_error_replies_not_hangs() {
+    let (handle, client) = start(|_| {});
+    let addr = handle.addr().clone();
+
+    // Wrong magic.
+    let (code, message) = raw_error_round_trip(&addr, b"XXXX\x01\x01\x00\x00\x00\x00");
+    assert_eq!(code, "bad-frame");
+    assert!(message.contains("bad magic"), "{message}");
+
+    // Future protocol version.
+    let (code, message) = raw_error_round_trip(&addr, &frame(99, 1, b""));
+    assert_eq!(code, "unsupported-version");
+    assert!(message.contains("99"), "{message}");
+
+    // Unknown frame kind.
+    let (code, _) = raw_error_round_trip(&addr, &frame(1, 200, b""));
+    assert_eq!(code, "bad-frame");
+
+    // A response kind sent as a request.
+    let (code, message) = raw_error_round_trip(&addr, &frame(1, 16, b""));
+    assert_eq!(code, "bad-frame");
+    assert!(message.contains("sent as a request"), "{message}");
+
+    // Valid framing, malformed job body.
+    let (code, _) = raw_error_round_trip(&addr, &frame(1, 1, b"not json"));
+    assert_eq!(code, "bad-request");
+
+    // Valid framing and JSON, unknown driver.
+    let body = br#"{"schema": 1, "driver": "warp-drive"}"#;
+    let (code, message) = raw_error_round_trip(&addr, &frame(1, 1, body));
+    assert_eq!(code, "bad-request");
+    assert!(message.contains("warp-drive"), "{message}");
+
+    // The daemon survives all of the above and still answers stats.
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("triarch_serve_errors"), "{stats}");
+    handle.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip_and_cleanup() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("serve-unix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("daemon.sock");
+    let addr = parse_addr(&format!("unix:{}", socket.display())).unwrap();
+
+    let mut config = ServeConfig::new(addr.clone());
+    config.quiet = true;
+    let handle = serve(config).unwrap();
+    assert!(socket.exists(), "daemon must create its socket file");
+
+    let client = Client::new(addr);
+    client.ping().unwrap();
+    let response = client.submit(&flame_job(Kernel::BeamSteering)).unwrap();
+    assert!(response.body.contains("VIRAM;"), "collapsed stacks start with the arch name");
+
+    // A client-driven shutdown drains the daemon and removes the socket.
+    client.shutdown().unwrap();
+    handle.join();
+    assert!(!socket.exists(), "socket file must be removed on exit");
+}
