@@ -32,6 +32,9 @@ cargo clippy -p triarch-profile --all-targets -- -D warnings \
 echo "== cargo clippy triarch-serve (deny unwrap/expect) =="
 cargo clippy -p triarch-serve --all-targets -- -D warnings
 
+echo "== cargo clippy serve_durability suite (deny warnings) =="
+cargo clippy -p triarch-bench --test serve_durability -- -D warnings
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
@@ -153,6 +156,52 @@ servectl stats | grep -qx "triarch_serve_cache_hits 1" \
 servectl shutdown || serve_fail "serve shutdown failed"
 wait "$serve_pid" || serve_fail "serve daemon exited non-zero"
 test ! -e "$serve_sock" || serve_fail "serve daemon left its socket file behind"
+
+echo "== serve durability smoke (SIGKILL, recover, corrupt record) =="
+# Run the binaries directly (not via cargo run) so kill -9 hits the
+# daemon itself, exactly like a real infrastructure failure.
+dur_sock="target/ci-durable.sock"
+dur_cache="target/ci-durable-cache"
+rm -rf "$dur_cache"
+durctl() {
+  ./target/release/servectl --addr "unix:$dur_sock" --quiet "$@"
+}
+dur_start() {
+  ./target/release/repro serve --addr "unix:$dur_sock" --cache-dir "$dur_cache" --jobs 2 --quiet &
+  dur_pid=$!
+  ./target/release/servectl --addr "unix:$dur_sock" --quiet --connect-retries 50 ping \
+    || dur_fail "durable daemon never became reachable"
+}
+dur_fail() {
+  echo "$1" >&2
+  kill -9 "$dur_pid" 2>/dev/null || true
+  exit 1
+}
+dur_start
+cold="$(durctl submit table3)" || dur_fail "cold table3 submit failed"
+kill -9 "$dur_pid"
+wait "$dur_pid" 2>/dev/null || true
+# Restart after the SIGKILL: the cache recovers from disk and the warm
+# response is byte-identical to the cold miss and to one-shot repro.
+dur_start
+durctl stats | grep -qx "triarch_serve_persist_loaded 1" \
+  || dur_fail "restart did not recover exactly one cache entry"
+warm="$(durctl submit table3)" || dur_fail "warm submit after restart failed"
+[ "$warm" = "$cold" ] || dur_fail "post-kill-restart response differs from the cold miss"
+[ "$warm" = "$one_shot" ] || dur_fail "post-kill-restart response differs from one-shot repro table3"
+durctl shutdown || dur_fail "durable daemon shutdown failed"
+wait "$dur_pid" || dur_fail "durable daemon exited non-zero"
+# Corrupt the stored record: the next restart must skip it (counted,
+# no panic) and recompute the identical artifact as a fresh miss.
+dur_rec="$(ls "$dur_cache"/*.trsc | head -1)"
+dd if=/dev/zero of="$dur_rec" bs=1 count=8 seek=40 conv=notrunc status=none
+dur_start
+durctl stats | grep -qx "triarch_serve_persist_skipped_corrupt 1" \
+  || dur_fail "restart did not count the corrupt record"
+redo="$(durctl submit table3)" || dur_fail "resubmit after corruption failed"
+[ "$redo" = "$one_shot" ] || dur_fail "recomputed response differs from one-shot repro table3"
+durctl shutdown || dur_fail "durable daemon shutdown failed"
+wait "$dur_pid" || dur_fail "durable daemon exited non-zero"
 
 echo "== perf gate (fresh BENCH_table3.json vs committed baseline) =="
 # Tolerance is explicit: the simulators are deterministic, so 0 drift is

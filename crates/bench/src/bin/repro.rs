@@ -60,13 +60,21 @@
 //! seed. `--small` substitutes the reduced workload set for quick smoke
 //! runs.
 //!
-//! `serve [--addr A] [--workers N] [--queue N] [--cache-entries N]`
-//! starts the simulation-as-a-service daemon and blocks until a client
-//! sends a shutdown request. `--addr` takes `<host>:<port>` (default
+//! `serve [--addr A] [--workers N] [--queue N] [--cache-entries N]
+//! [--cache-dir DIR] [--job-timeout MS]` starts the
+//! simulation-as-a-service daemon and blocks until a client sends a
+//! shutdown request. `--addr` takes `<host>:<port>` (default
 //! `127.0.0.1:7444`) or `unix:<path>`; `--workers` bounds concurrent
 //! jobs, `--queue` the admission queue, `--cache-entries` the
-//! content-addressed result cache. Submit jobs with the `servectl`
-//! binary; repeated requests are served from the cache byte-identically.
+//! content-addressed result cache. `--cache-dir` makes the cache
+//! crash-safe: completed entries persist to checksummed segment files
+//! and a restarted daemon recovers them, serving warm responses
+//! byte-identical to cold misses (corrupt records are skipped, an
+//! unusable directory demotes to memory-only). `--job-timeout` bounds
+//! each job's wall-clock time; a job past its deadline answers a typed
+//! `deadline-exceeded` error and is never cached. Submit jobs with the
+//! `servectl` binary; repeated requests are served from the cache
+//! byte-identically.
 //!
 //! `dse [--small]` sweeps microarchitectural parameters around the
 //! paper's design points (VIRAM lanes × address generators, Imagine
@@ -172,6 +180,12 @@ struct Options {
     queue: usize,
     /// Daemon result-cache bound (`--cache-entries`, serve only).
     cache_entries: usize,
+    /// Crash-safe cache persistence directory (`--cache-dir`, serve
+    /// only); empty means memory-only.
+    cache_dir: String,
+    /// Per-job wall-clock deadline in milliseconds (`--job-timeout`,
+    /// serve only); 0 means no deadline.
+    job_timeout_ms: u64,
 }
 
 impl Options {
@@ -196,6 +210,8 @@ impl Options {
             workers: 2,
             queue: 16,
             cache_entries: 64,
+            cache_dir: String::new(),
+            job_timeout_ms: 0,
         };
         let mut i = 0;
         while i < args.len() {
@@ -249,6 +265,25 @@ impl Options {
                             opts.cache_entries = parsed;
                         }
                     }
+                    i += 2;
+                }
+                "--cache-dir" => {
+                    let value = args.get(i + 1).ok_or_else(|| format!("{arg} requires a path"))?;
+                    if value.is_empty() {
+                        return Err(String::from("--cache-dir requires a non-empty path"));
+                    }
+                    opts.cache_dir.clone_from(value);
+                    i += 2;
+                }
+                "--job-timeout" => {
+                    let value = args.get(i + 1).ok_or_else(|| format!("{arg} requires a value"))?;
+                    let parsed: u64 = value.parse().map_err(|_| {
+                        format!("{arg} requires milliseconds as an unsigned integer, got '{value}'")
+                    })?;
+                    if parsed == 0 {
+                        return Err(String::from("--job-timeout must be at least 1 millisecond"));
+                    }
+                    opts.job_timeout_ms = parsed;
                     i += 2;
                 }
                 "--small" => {
@@ -320,6 +355,8 @@ impl Options {
                 ("--workers", opts.workers != 2),
                 ("--queue", opts.queue != 16),
                 ("--cache-entries", opts.cache_entries != 64),
+                ("--cache-dir", !opts.cache_dir.is_empty()),
+                ("--job-timeout", opts.job_timeout_ms != 0),
             ] {
                 if given {
                     return Err(format!("{flag} requires the serve selector"));
@@ -703,6 +740,12 @@ fn run_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     config.cache_entries = opts.cache_entries;
     config.jobs = opts.jobs;
     config.quiet = opts.quiet;
+    if !opts.cache_dir.is_empty() {
+        config.cache_dir = Some(std::path::PathBuf::from(&opts.cache_dir));
+    }
+    if opts.job_timeout_ms > 0 {
+        config.job_timeout = Some(std::time::Duration::from_millis(opts.job_timeout_ms));
+    }
     let handle = triarch_serve::serve(config).map_err(|e| e.to_string())?;
     handle.join();
     Ok(())
@@ -840,7 +883,8 @@ fn main() {
                  [metrics [dir] [--small]] [bench [file] [--json] [--small]] \
                  [flame [dir] [--small]] [report [dir] [--small]] \
                  [profdiff <a.json> <b.json>] \
-                 [serve [--addr A] [--workers N] [--queue N] [--cache-entries N]]"
+                 [serve [--addr A] [--workers N] [--queue N] [--cache-entries N] \
+                 [--cache-dir DIR] [--job-timeout MS]]"
             );
             process::exit(2);
         }

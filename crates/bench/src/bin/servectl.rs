@@ -1,7 +1,8 @@
 //! `servectl` — the command-line client for the `repro -- serve` daemon.
 //!
 //! ```text
-//! servectl [--addr A] [--quiet] [--connect-retries N] <command>
+//! servectl [--addr A] [--quiet] [--connect-retries N]
+//!          [--retries N] [--backoff-ms B] <command>
 //!
 //! commands:
 //!   submit <driver> [--workload paper|small] [--seed S] [--campaigns N]
@@ -10,6 +11,13 @@
 //!   ping       liveness probe
 //!   shutdown   ask the daemon to drain and exit
 //! ```
+//!
+//! `--connect-retries N` keeps its historical fixed-delay behaviour
+//! (N retries, 100 ms apart). `--retries N` switches to the shared
+//! seeded exponential-backoff-with-jitter policy scaled by
+//! `--backoff-ms` (default 100), which also retries typed `queue-full`
+//! rejections — the schedule is deterministic (seed 42), so campaign
+//! scripts behave identically run to run.
 //!
 //! `submit` writes the artifact bytes to stdout *verbatim* — byte-for-byte
 //! what the matching one-shot `repro` selector prints — and notes the
@@ -26,7 +34,11 @@ use std::process;
 
 use triarch_core::arch::Architecture;
 use triarch_kernels::machine::Kernel;
-use triarch_serve::{parse_addr, Client, DriverKind, JobSpec, WorkloadKind};
+use triarch_serve::{parse_addr, Backoff, Client, DriverKind, JobSpec, WorkloadKind};
+
+/// The fixed seed for the exponential policy: retry schedules are part
+/// of the deterministic surface, pinned in `tests/serve_durability.rs`.
+const BACKOFF_SEED: u64 = 42;
 
 /// Everything parsed off the command line.
 struct Options {
@@ -34,8 +46,9 @@ struct Options {
     addr: String,
     /// Suppress the stderr hit/miss note.
     quiet: bool,
-    /// Connection retries (100 ms apart) for daemons still binding.
-    connect_retries: u32,
+    /// The retry policy (from `--connect-retries`, or `--retries` +
+    /// `--backoff-ms`).
+    backoff: Backoff,
     /// The command and its arguments.
     command: Command,
 }
@@ -57,6 +70,8 @@ impl Options {
         let mut addr = String::from("127.0.0.1:7444");
         let mut quiet = triarch_pool::quiet_from_env();
         let mut connect_retries = 0u32;
+        let mut retries = 0u32;
+        let mut backoff_ms = 100u64;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -81,9 +96,43 @@ impl Options {
                         .map_err(|_| format!("invalid --connect-retries '{value}'"))?;
                     i += 2;
                 }
+                "--retries" => {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| String::from("--retries requires a count"))?;
+                    retries = value.parse().map_err(|_| format!("invalid --retries '{value}'"))?;
+                    i += 2;
+                }
+                "--backoff-ms" => {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| String::from("--backoff-ms requires milliseconds"))?;
+                    backoff_ms =
+                        value.parse().map_err(|_| format!("invalid --backoff-ms '{value}'"))?;
+                    if backoff_ms == 0 {
+                        return Err(String::from("--backoff-ms must be at least 1"));
+                    }
+                    i += 2;
+                }
                 _ => break,
             }
         }
+        if retries > 0 && connect_retries > 0 {
+            return Err(String::from(
+                "--retries and --connect-retries are alternative policies; give one",
+            ));
+        }
+        let backoff = if retries > 0 {
+            Backoff::exponential(
+                retries,
+                std::time::Duration::from_millis(backoff_ms),
+                BACKOFF_SEED,
+            )
+        } else if connect_retries > 0 {
+            Backoff::fixed(connect_retries, std::time::Duration::from_millis(100))
+        } else {
+            Backoff::none()
+        };
         let command = args
             .get(i)
             .map(String::as_str)
@@ -107,7 +156,7 @@ impl Options {
                 ));
             }
         };
-        Ok(Options { addr, quiet, connect_retries, command })
+        Ok(Options { addr, quiet, backoff, command })
     }
 }
 
@@ -181,11 +230,15 @@ fn driver_names() -> String {
 
 fn run(opts: &Options) -> Result<(), String> {
     let addr = parse_addr(&opts.addr).map_err(|e| e.to_string())?;
-    let client = Client::new(addr).with_connect_retries(opts.connect_retries);
+    let client = Client::new(addr).with_backoff(opts.backoff);
     match &opts.command {
         Command::Submit(spec) => {
             let response = client.submit(spec).map_err(|e| e.to_string())?;
             if !opts.quiet {
+                let retries = client.retry_attempts();
+                if retries > 0 {
+                    eprintln!("servectl: succeeded after {retries} retries");
+                }
                 eprintln!(
                     "servectl: cache {} ({} bytes, {})",
                     if response.hit { "hit" } else { "miss" },
@@ -222,6 +275,7 @@ fn main() {
             eprintln!("servectl: {msg}");
             eprintln!(
                 "usage: servectl [--addr A] [--quiet] [--connect-retries N] \
+                 [--retries N] [--backoff-ms B] \
                  <submit <driver> [--workload paper|small] [--seed S] [--campaigns N] \
                  [--arch A --kernel K] [--a FILE --b FILE] | stats | ping | shutdown>"
             );

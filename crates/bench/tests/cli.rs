@@ -218,16 +218,55 @@ fn repro_serve_flags_are_validated_before_any_socket_work() {
     assert!(stderr.contains("usage: repro"), "{stderr}");
 
     // Zero-width knobs are rejected eagerly.
-    for (flag, value) in [("--workers", "0"), ("--cache-entries", "0")] {
+    for (flag, value) in [("--workers", "0"), ("--cache-entries", "0"), ("--job-timeout", "0")] {
         let out = repro(&["serve", flag, value]);
         assert_eq!(out.status.code(), Some(2), "{flag}: {}", stderr_of(&out));
         assert!(stderr_of(&out).contains("must be at least 1"), "{}", stderr_of(&out));
     }
+    let out = repro(&["serve", "--cache-dir", ""]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("--cache-dir requires a non-empty path"));
 
     // Serve-only flags without the serve selector are usage errors.
     let out = repro(&["--workers", "3", "table1"]);
     assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
     assert!(stderr_of(&out).contains("--workers requires the serve selector"));
+    for (flag, value) in [("--cache-dir", "/tmp/x"), ("--job-timeout", "500")] {
+        let out = repro(&[flag, value, "table1"]);
+        assert_eq!(out.status.code(), Some(2), "{flag}: {}", stderr_of(&out));
+        assert!(
+            stderr_of(&out).contains(&format!("{flag} requires the serve selector")),
+            "{}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn servectl_unknown_driver_lists_all_seven_valid_drivers() {
+    let out = servectl(&["submit", "warp-drive"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("unknown driver 'warp-drive'"), "{stderr}");
+    for driver in ["table3", "dse", "faultsweep", "metrics", "report", "flame", "profdiff"] {
+        assert!(stderr.contains(driver), "driver {driver} missing from error:\n{stderr}");
+    }
+}
+
+#[test]
+fn servectl_retry_flags_are_validated() {
+    for args in [
+        ["--retries", "abc", "ping"],
+        ["--backoff-ms", "0", "ping"],
+        ["--backoff-ms", "xyz", "ping"],
+    ] {
+        let out = servectl(&args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {}", stderr_of(&out));
+    }
+    // The two retry policies are alternatives, not composable.
+    let out = servectl(&["--retries", "2", "--connect-retries", "2", "ping"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("alternative policies"), "{}", stderr_of(&out));
 }
 
 #[test]

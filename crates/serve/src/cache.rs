@@ -98,6 +98,22 @@ impl ResultCache {
         key: &str,
         build: impl FnOnce() -> Result<Artifact, SimError>,
     ) -> Result<(Arc<Artifact>, bool), SimError> {
+        self.get_or_build_traced(key, build).map(|(artifact, hit, _)| (artifact, hit))
+    }
+
+    /// [`ResultCache::get_or_build`] plus the keys the LRU bound evicted
+    /// while publishing this entry — the persistence layer drops their
+    /// segment files so a restart cannot resurrect more than `capacity`
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error like [`ResultCache::get_or_build`].
+    pub fn get_or_build_traced(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<Artifact, SimError>,
+    ) -> Result<(Arc<Artifact>, bool, Vec<String>), SimError> {
         let pending = {
             let mut inner = lock(&self.inner);
             match inner.slots.get(key) {
@@ -105,7 +121,7 @@ impl ResultCache {
                     let artifact = Arc::clone(artifact);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     touch(&mut inner.order, key);
-                    return Ok((artifact, true));
+                    return Ok((artifact, true, Vec::new()));
                 }
                 Some(Slot::Building(build)) => {
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -132,11 +148,12 @@ impl ResultCache {
                 done = self.wait(&pending.cv, done);
             }
             #[allow(clippy::unwrap_used)] // loop above guarantees Some
-            return done.clone().unwrap().map(|artifact| (artifact, true));
+            return done.clone().unwrap().map(|artifact| (artifact, true, Vec::new()));
         }
 
         // This call owns the build. Never cache errors; always publish.
         let result = build().map(Arc::new);
+        let mut evicted_keys = Vec::new();
         let publish = {
             let mut inner = lock(&self.inner);
             let slot = inner.slots.remove(key);
@@ -147,6 +164,7 @@ impl ResultCache {
                     if let Some(evicted) = inner.order.pop_front() {
                         inner.slots.remove(&evicted);
                         self.evictions.fetch_add(1, Ordering::Relaxed);
+                        evicted_keys.push(evicted);
                     }
                 }
             }
@@ -159,7 +177,47 @@ impl ResultCache {
             *lock(&build_slot.done) = Some(result.clone());
             build_slot.cv.notify_all();
         }
-        result.map(|artifact| (artifact, false))
+        result.map(|artifact| (artifact, false, evicted_keys))
+    }
+
+    /// Installs recovered `(key, artifact)` pairs as `Ready` entries, in
+    /// order, stopping at the capacity bound. Returns the keys that did
+    /// **not** fit, so the caller can drop their on-disk records — a
+    /// restart never resurrects more than `capacity` entries. Intended
+    /// for startup only (keys already present are skipped, not
+    /// replaced).
+    pub fn preload(&self, entries: Vec<(String, Artifact)>) -> (usize, Vec<String>) {
+        let mut inner = lock(&self.inner);
+        let mut installed = 0;
+        let mut overflow = Vec::new();
+        for (key, artifact) in entries {
+            if inner.slots.contains_key(&key) {
+                continue;
+            }
+            if inner.order.len() >= self.capacity {
+                overflow.push(key);
+                continue;
+            }
+            inner.slots.insert(key.clone(), Slot::Ready(Arc::new(artifact)));
+            inner.order.push_back(key);
+            installed += 1;
+        }
+        (installed, overflow)
+    }
+
+    /// A snapshot of every completed entry in LRU order (the
+    /// shutdown-flush path).
+    #[must_use]
+    pub fn entries(&self) -> Vec<(String, Arc<Artifact>)> {
+        let inner = lock(&self.inner);
+        inner
+            .order
+            .iter()
+            .filter_map(|key| match inner.slots.get(key) {
+                Some(Slot::Ready(artifact)) => Some((key.clone(), Arc::clone(artifact))),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Condvar wait that recovers from poisoning like [`lock`].
@@ -253,6 +311,42 @@ mod tests {
         // "c" survived both evictions.
         let (_, hit) = cache.get_or_build("c", || panic!("cached")).unwrap();
         assert!(hit);
+    }
+
+    #[test]
+    fn preload_installs_at_most_capacity_and_reports_overflow() {
+        let cache = ResultCache::new(2);
+        let entries = vec![
+            (String::from("a"), artifact("a")),
+            (String::from("b"), artifact("b")),
+            (String::from("c"), artifact("c")),
+        ];
+        let (installed, overflow) = cache.preload(entries);
+        assert_eq!(installed, 2);
+        assert_eq!(overflow, vec![String::from("c")]);
+        assert_eq!(cache.stats().entries, 2);
+        // Preloaded entries are real hits.
+        let (a, hit) = cache.get_or_build("a", || panic!("preloaded")).unwrap();
+        assert!(hit);
+        assert_eq!(a.body, "a");
+        // A duplicate key in a later preload is skipped, not replaced.
+        let (installed, overflow) = cache.preload(vec![(String::from("a"), artifact("other"))]);
+        assert_eq!((installed, overflow.len()), (0, 0));
+        let (a, _) = cache.get_or_build("a", || panic!("preloaded")).unwrap();
+        assert_eq!(a.body, "a");
+    }
+
+    #[test]
+    fn traced_builds_report_the_keys_the_lru_bound_evicted() {
+        let cache = ResultCache::new(1);
+        let (_, _, evicted) = cache.get_or_build_traced("a", || Ok(artifact("a"))).unwrap();
+        assert!(evicted.is_empty());
+        let (_, _, evicted) = cache.get_or_build_traced("b", || Ok(artifact("b"))).unwrap();
+        assert_eq!(evicted, vec![String::from("a")]);
+        // The snapshot sees exactly the surviving entry.
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "b");
     }
 
     #[test]

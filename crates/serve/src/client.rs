@@ -5,15 +5,26 @@
 //! [`ServeError::Remote`] carrying the server's stable error code, so
 //! callers can distinguish an overloaded daemon (retry later) from a
 //! rejected request (fix the request).
+//!
+//! Retries run through the one shared [`Backoff`] policy: connect
+//! failures (the daemon has not bound yet) and typed `queue-full`
+//! rejections (the daemon is briefly saturated) both wait out the
+//! policy's deterministic schedule and try again. Nothing else retries
+//! — a `bad-request` or `sim` error is the caller's problem, and a
+//! `deadline-exceeded` means the job is too slow for the daemon's
+//! configured deadline, not that the daemon is busy.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::Duration;
 
+use crate::backoff::Backoff;
 use crate::protocol::{self, FrameKind};
 use crate::server::{connect, Addr, IO_TIMEOUT};
 use crate::{JobSpec, ServeError};
 
-/// Delay between connection retries (daemon startup races in CI).
+/// Delay between fixed-policy connection retries (daemon startup races
+/// in CI).
 const RETRY_DELAY: Duration = Duration::from_millis(100);
 
 /// A successfully served job.
@@ -30,25 +41,44 @@ pub struct SubmitResponse {
 /// A blocking triarch-serve client.
 pub struct Client {
     addr: Addr,
-    connect_retries: u32,
+    backoff: Backoff,
+    attempts: AtomicU64,
 }
 
 impl Client {
     /// A client for `addr` that fails fast on connection errors.
     #[must_use]
     pub fn new(addr: Addr) -> Client {
-        Client { addr, connect_retries: 0 }
+        Client { addr, backoff: Backoff::none(), attempts: AtomicU64::new(0) }
     }
 
     /// Retries refused connections `retries` times (100 ms apart)
     /// before giving up — tolerates a daemon that is still binding.
+    /// Shorthand for [`Client::with_backoff`] with a fixed policy.
     #[must_use]
-    pub fn with_connect_retries(mut self, retries: u32) -> Client {
-        self.connect_retries = retries;
+    pub fn with_connect_retries(self, retries: u32) -> Client {
+        self.with_backoff(Backoff::fixed(retries, RETRY_DELAY))
+    }
+
+    /// Installs a retry policy. Connect failures and typed `queue-full`
+    /// rejections retry on the policy's schedule; every other error
+    /// fails immediately.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Backoff) -> Client {
+        self.backoff = backoff;
         self
     }
 
-    /// Submits a job and returns the artifact.
+    /// Retries performed so far (connect and queue-full combined),
+    /// exported by servectl as `serve.retry.attempts`.
+    #[must_use]
+    pub fn retry_attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Submits a job and returns the artifact. A typed `queue-full`
+    /// rejection retries on the backoff schedule (the rejection happened
+    /// before any simulation work, so resubmitting is always safe).
     ///
     /// # Errors
     ///
@@ -56,7 +86,20 @@ impl Client {
     /// bad request, simulation error), [`ServeError::Io`] for transport
     /// failures.
     pub fn submit(&self, spec: &JobSpec) -> Result<SubmitResponse, ServeError> {
-        let reply = self.round_trip(FrameKind::JobRequest, spec.to_json().as_bytes())?;
+        let body = spec.to_json();
+        let mut attempt = 0;
+        let reply = loop {
+            match self.round_trip(FrameKind::JobRequest, body.as_bytes()) {
+                Err(ServeError::Remote { ref code, .. })
+                    if code == "queue-full" && attempt < self.backoff.retries =>
+                {
+                    thread::sleep(self.backoff.delay(attempt));
+                    attempt += 1;
+                    self.attempts.fetch_add(1, Ordering::Relaxed);
+                }
+                other => break other?,
+            }
+        };
         let hit = match reply.kind {
             FrameKind::OkHit => true,
             FrameKind::OkMiss => false,
@@ -116,10 +159,10 @@ impl Client {
         loop {
             match connect(&self.addr) {
                 Ok(stream) => return Ok(stream),
-                Err(e) if attempt < self.connect_retries => {
+                Err(_) if attempt < self.backoff.retries => {
+                    thread::sleep(self.backoff.delay(attempt));
                     attempt += 1;
-                    thread::sleep(RETRY_DELAY);
-                    let _ = e;
+                    self.attempts.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e) => {
                     return Err(ServeError::Io {

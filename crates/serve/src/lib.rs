@@ -23,7 +23,15 @@
 //! * [`server`] / [`client`] — the accept loop, the per-request
 //!   handlers, the `serve.*` metrics registry rendered through the
 //!   workspace Prometheus renderer, and the blocking client the
-//!   `servectl` CLI wraps.
+//!   `servectl` CLI wraps;
+//! * [`persist`] — crash-safe on-disk cache persistence
+//!   (`--cache-dir`): checksummed segment records written via atomic
+//!   rename, a recovery pass that skips corrupt records without
+//!   panicking, and a degraded memory-only mode when the directory is
+//!   unusable;
+//! * [`backoff`] — the single deterministic seeded
+//!   exponential-backoff-with-jitter retry policy shared by every
+//!   client retry site.
 //!
 //! Determinism is the load-bearing property: every simulator in the
 //! workspace is a pure function of its inputs, so a cache keyed by the
@@ -42,11 +50,14 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use triarch_simcore::SimError;
 
 pub mod admission;
+pub mod backoff;
 pub mod cache;
 pub mod client;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 
+pub use backoff::Backoff;
 pub use client::{Client, SubmitResponse};
 pub use server::{parse_addr, serve, Addr, HoldGate, ServeConfig, ServerHandle};
 pub use triarch_core::driver::{Artifact, DriverKind, JobSpec, WorkloadKind};
@@ -87,6 +98,14 @@ pub enum ServeError {
     BadRequest {
         /// What was wrong with the request.
         what: String,
+    },
+    /// The job's wall-clock deadline (`--job-timeout`) expired before a
+    /// result landed. The partial result is discarded and never cached,
+    /// so retrying (ideally against a less loaded daemon, or with a
+    /// longer deadline) is always safe.
+    DeadlineExceeded {
+        /// The wall-clock limit that expired, in milliseconds.
+        millis: u64,
     },
     /// The server is draining and no longer accepts work.
     ShuttingDown,
@@ -134,6 +153,7 @@ impl ServeError {
             ServeError::BadFrame { .. } => "bad-frame",
             ServeError::UnsupportedVersion { .. } => "unsupported-version",
             ServeError::BadRequest { .. } => "bad-request",
+            ServeError::DeadlineExceeded { .. } => "deadline-exceeded",
             ServeError::ShuttingDown => "shutting-down",
             ServeError::Io { .. } => "io",
             ServeError::Sim(_) => "sim",
@@ -151,6 +171,7 @@ impl ServeError {
             ServeError::Overloaded { .. }
             | ServeError::QueueFull { .. }
             | ServeError::ShuttingDown => SimError::overloaded(self.to_string()),
+            ServeError::DeadlineExceeded { millis } => SimError::deadline_exceeded(millis),
             ServeError::Sim(e) => e,
             ServeError::Remote { ref code, .. } if code == "overloaded" || code == "queue-full" => {
                 SimError::overloaded(self.to_string())
@@ -176,6 +197,9 @@ impl fmt::Display for ServeError {
                 write!(f, "unsupported protocol version {got} (this build speaks {want})")
             }
             ServeError::BadRequest { what } => write!(f, "bad request: {what}"),
+            ServeError::DeadlineExceeded { millis } => {
+                write!(f, "job deadline exceeded: no result after {millis} ms")
+            }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Io { what } => write!(f, "i/o error: {what}"),
             ServeError::Sim(e) => write!(f, "{e}"),
@@ -215,6 +239,7 @@ mod tests {
             ServeError::bad_frame("x"),
             ServeError::UnsupportedVersion { got: 9, want: 1 },
             ServeError::bad_request("x"),
+            ServeError::DeadlineExceeded { millis: 250 },
             ServeError::ShuttingDown,
             ServeError::Io { what: String::from("x") },
             ServeError::Sim(SimError::unsupported("x")),
@@ -227,6 +252,7 @@ mod tests {
                 ServeError::BadFrame { .. } => ("bad-frame", false),
                 ServeError::UnsupportedVersion { .. } => ("unsupported-version", false),
                 ServeError::BadRequest { .. } => ("bad-request", false),
+                ServeError::DeadlineExceeded { .. } => ("deadline-exceeded", false),
                 ServeError::ShuttingDown => ("shutting-down", true),
                 ServeError::Io { .. } => ("io", false),
                 ServeError::Sim(_) => ("sim", false),
@@ -237,6 +263,9 @@ mod tests {
             let sim = e.clone().into_sim();
             match (&e, overloaded) {
                 (ServeError::Sim(inner), _) => assert_eq!(&sim, inner),
+                (ServeError::DeadlineExceeded { millis }, _) => {
+                    assert_eq!(sim, SimError::deadline_exceeded(*millis));
+                }
                 (_, true) => assert!(matches!(sim, SimError::Overloaded { .. }), "{e:?} -> {sim}"),
                 (_, false) => assert!(matches!(sim, SimError::Protocol { .. }), "{e:?} -> {sim}"),
             }

@@ -1,0 +1,561 @@
+//! Crash-safe on-disk persistence for the result cache (`--cache-dir`).
+//!
+//! Every completed cache entry is written through to its own segment
+//! file under the cache directory, so a daemon that is `kill -9`ed
+//! mid-campaign restarts with every finished artifact intact and serves
+//! warm responses byte-identical to the cold misses that produced them.
+//! The layout is deliberately boring:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "TRSC"
+//! 4       1     cache layout version (CACHE_LAYOUT_VERSION)
+//! 5       4     key length, big-endian u32
+//! 9      klen   canonical job key (UTF-8)
+//! ..      4     content-type length, big-endian u32
+//! ..     clen   content type (UTF-8)
+//! ..      4     body length, big-endian u32
+//! ..     blen   artifact body (UTF-8)
+//! ..      8     FNV-1a checksum of key + content type + body, big-endian
+//! ```
+//!
+//! Files are named `<fnv1a64(key) as 16 hex digits>.trsc` and written
+//! via a temp file plus an atomic rename, so the published file is
+//! either the complete previous record or the complete new one — never
+//! a torn write from *this* process. Torn, truncated, or bit-flipped
+//! records can still appear on disk (external truncation, filesystem
+//! damage, a different tool); the recovery pass **skips** them, counts
+//! them in `serve.persist.skipped_corrupt`, and never panics. A file
+//! whose header carries a foreign layout version is rejected with the
+//! pinned message [`foreign_layout_message`] instead of being
+//! misparsed.
+//!
+//! Persistence is strictly best-effort: a cache directory that cannot
+//! be created or written demotes the daemon to memory-only operation
+//! (one warning, `serve.persist.degraded 1`) instead of killing it —
+//! losing warm starts is strictly better than losing the service.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use triarch_profile::fnv1a64;
+
+use crate::Artifact;
+
+/// Segment-file magic: the first four bytes of every cache record.
+pub const CACHE_MAGIC: [u8; 4] = *b"TRSC";
+
+/// The on-disk layout revision this build reads and writes.
+pub const CACHE_LAYOUT_VERSION: u8 = 1;
+
+/// File extension of cache segment files.
+pub const CACHE_EXT: &str = "trsc";
+
+/// The pinned rejection message for a record written by a different
+/// layout revision (asserted verbatim in tests).
+#[must_use]
+pub fn foreign_layout_message(got: u8) -> String {
+    format!("unsupported cache layout version {got} (this build writes {CACHE_LAYOUT_VERSION})")
+}
+
+/// Why a segment record could not be used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The record bytes are torn, truncated, checksum-damaged, or not a
+    /// cache record at all.
+    Corrupt {
+        /// What was wrong with the record.
+        what: String,
+    },
+    /// The record carries a foreign layout version; the message is
+    /// pinned by [`foreign_layout_message`].
+    ForeignLayout {
+        /// The layout version byte the record carries.
+        got: u8,
+    },
+    /// A filesystem-level failure (unwritable directory, failed rename).
+    Io {
+        /// The rendered I/O error, with the path it concerns.
+        what: String,
+    },
+}
+
+impl PersistError {
+    fn corrupt(what: impl Into<String>) -> PersistError {
+        PersistError::Corrupt { what: what.into() }
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Corrupt { what } => write!(f, "corrupt cache record: {what}"),
+            PersistError::ForeignLayout { got } => f.write_str(&foreign_layout_message(*got)),
+            PersistError::Io { what } => write!(f, "cache i/o error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Encodes one cache entry as segment-record bytes.
+#[must_use]
+pub fn encode_entry(key: &str, artifact: &Artifact) -> Vec<u8> {
+    let (k, c, b) = (key.as_bytes(), artifact.content_type.as_bytes(), artifact.body.as_bytes());
+    let mut out = Vec::with_capacity(4 + 1 + 12 + k.len() + c.len() + b.len() + 8);
+    out.extend_from_slice(&CACHE_MAGIC);
+    out.push(CACHE_LAYOUT_VERSION);
+    for field in [k, c, b] {
+        out.extend_from_slice(&(field.len() as u32).to_be_bytes());
+        out.extend_from_slice(field);
+    }
+    let mut sum = Vec::with_capacity(k.len() + c.len() + b.len());
+    for field in [k, c, b] {
+        sum.extend_from_slice(field);
+    }
+    out.extend_from_slice(&fnv1a64(&sum).to_be_bytes());
+    out
+}
+
+/// Reads one big-endian length-prefixed field, advancing `at`.
+fn read_field<'a>(bytes: &'a [u8], at: &mut usize, what: &str) -> Result<&'a [u8], PersistError> {
+    let Some(prefix) = bytes.get(*at..*at + 4) else {
+        return Err(PersistError::corrupt(format!("truncated before the {what} length")));
+    };
+    #[allow(clippy::unwrap_used)] // get() above guarantees 4 bytes
+    let len = u32::from_be_bytes(prefix.try_into().unwrap()) as usize;
+    *at += 4;
+    let Some(field) = bytes.get(*at..*at + len) else {
+        return Err(PersistError::corrupt(format!(
+            "truncated inside the {what} ({} of {len} bytes present)",
+            bytes.len().saturating_sub(*at)
+        )));
+    };
+    *at += len;
+    Ok(field)
+}
+
+/// Decodes segment-record bytes back into `(key, artifact)`.
+///
+/// # Errors
+///
+/// [`PersistError::Corrupt`] for a bad magic, torn/truncated fields,
+/// trailing garbage, non-UTF-8 text, or a checksum mismatch;
+/// [`PersistError::ForeignLayout`] for a record written by a different
+/// layout revision.
+pub fn decode_entry(bytes: &[u8]) -> Result<(String, Artifact), PersistError> {
+    if bytes.len() < 5 {
+        return Err(PersistError::corrupt(format!(
+            "{} bytes is shorter than the header",
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != CACHE_MAGIC {
+        return Err(PersistError::corrupt(format!(
+            "bad magic {:02x}{:02x}{:02x}{:02x} (expected \"TRSC\")",
+            bytes[0], bytes[1], bytes[2], bytes[3]
+        )));
+    }
+    if bytes[4] != CACHE_LAYOUT_VERSION {
+        return Err(PersistError::ForeignLayout { got: bytes[4] });
+    }
+    let mut at = 5;
+    let key = read_field(bytes, &mut at, "key")?;
+    let content_type = read_field(bytes, &mut at, "content type")?;
+    let body = read_field(bytes, &mut at, "body")?;
+    let Some(stored) = bytes.get(at..at + 8) else {
+        return Err(PersistError::corrupt("truncated before the checksum"));
+    };
+    if bytes.len() != at + 8 {
+        return Err(PersistError::corrupt(format!(
+            "{} trailing bytes after the checksum",
+            bytes.len() - at - 8
+        )));
+    }
+    let mut sum = Vec::with_capacity(key.len() + content_type.len() + body.len());
+    for field in [key, content_type, body] {
+        sum.extend_from_slice(field);
+    }
+    let computed = fnv1a64(&sum);
+    #[allow(clippy::unwrap_used)] // get() above guarantees 8 bytes
+    let stored = u64::from_be_bytes(stored.try_into().unwrap());
+    if stored != computed {
+        return Err(PersistError::corrupt(format!(
+            "checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+        )));
+    }
+    let text = |field: &[u8], what: &str| {
+        String::from_utf8(field.to_vec())
+            .map_err(|_| PersistError::corrupt(format!("{what} is not UTF-8")))
+    };
+    let key = text(key, "key")?;
+    let artifact =
+        Artifact { content_type: text(content_type, "content type")?, body: text(body, "body")? };
+    Ok((key, artifact))
+}
+
+/// The on-disk store rooted at one `--cache-dir`.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+/// One recovered-or-skipped summary from a [`Store::recover`] pass.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Valid entries, in deterministic (file-name) order.
+    pub entries: Vec<(String, Artifact)>,
+    /// Records skipped as torn / truncated / corrupt / foreign-layout.
+    pub skipped_corrupt: u64,
+    /// Total bytes of the valid entries' artifacts.
+    pub bytes: u64,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store directory and probes that it
+    /// is writable.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the directory cannot be created or a
+    /// probe file cannot be written — the caller demotes to memory-only
+    /// (degraded) operation rather than failing the daemon.
+    pub fn open(dir: &Path) -> Result<Store, PersistError> {
+        fs::create_dir_all(dir).map_err(|e| PersistError::Io {
+            what: format!("cannot create cache dir '{}': {e}", dir.display()),
+        })?;
+        let probe = dir.join(".probe.tmp");
+        fs::write(&probe, b"triarch-serve probe").map_err(|e| PersistError::Io {
+            what: format!("cache dir '{}' is not writable: {e}", dir.display()),
+        })?;
+        let _ = fs::remove_file(&probe);
+        Ok(Store { dir: dir.to_path_buf() })
+    }
+
+    /// The segment-file path for `key`.
+    #[must_use]
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.{CACHE_EXT}", fnv1a64(key.as_bytes())))
+    }
+
+    /// Whether `key`'s segment file exists on disk.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.path_for(key).exists()
+    }
+
+    /// Writes one entry via a temp file plus an atomic rename, returning
+    /// the record size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the temp file cannot be written or
+    /// renamed into place.
+    pub fn save(&self, key: &str, artifact: &Artifact) -> Result<u64, PersistError> {
+        let record = encode_entry(key, artifact);
+        let path = self.path_for(key);
+        let tmp = path.with_extension(format!("{CACHE_EXT}.tmp"));
+        fs::write(&tmp, &record).map_err(|e| PersistError::Io {
+            what: format!("cannot write '{}': {e}", tmp.display()),
+        })?;
+        fs::rename(&tmp, &path).map_err(|e| PersistError::Io {
+            what: format!("cannot rename '{}' into place: {e}", tmp.display()),
+        })?;
+        Ok(record.len() as u64)
+    }
+
+    /// Removes `key`'s segment file (missing files are fine — eviction
+    /// and crash-recovery trimming may race benignly).
+    pub fn remove(&self, key: &str) {
+        let _ = fs::remove_file(self.path_for(key));
+    }
+
+    /// Scans the store, loading every valid record in deterministic
+    /// (file-name) order and counting — never propagating — records
+    /// that are torn, truncated, corrupt, or foreign-layout. Leftover
+    /// temp files from an interrupted write are deleted silently.
+    #[must_use]
+    pub fn recover(&self) -> Recovery {
+        let mut recovery = Recovery::default();
+        let Ok(dir) = fs::read_dir(&self.dir) else {
+            return recovery;
+        };
+        let mut files: Vec<PathBuf> = dir
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(CACHE_EXT))
+            .collect();
+        files.sort();
+        for path in files {
+            let Ok(bytes) = fs::read(&path) else {
+                recovery.skipped_corrupt += 1;
+                continue;
+            };
+            match decode_entry(&bytes) {
+                Ok((key, artifact)) => {
+                    recovery.bytes += bytes.len() as u64;
+                    recovery.entries.push((key, artifact));
+                }
+                Err(_) => recovery.skipped_corrupt += 1,
+            }
+        }
+        // An interrupted save can leave a *.trsc.tmp behind; it was never
+        // published, so it is garbage, not a cache record.
+        if let Ok(dir) = fs::read_dir(&self.dir) {
+            for path in dir.filter_map(Result::ok).map(|e| e.path()) {
+                if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        recovery
+    }
+}
+
+/// The serving layer's persistence facade: an optional [`Store`] plus
+/// the `serve.persist.*` counters and the degraded flag. Present
+/// whenever `--cache-dir` was requested — even when the directory turned
+/// out to be unusable, so the degraded gauge stays observable.
+#[derive(Debug)]
+pub struct Persistence {
+    store: Option<Store>,
+    quiet: bool,
+    degraded: AtomicBool,
+    warned: AtomicBool,
+    loaded: AtomicU64,
+    skipped_corrupt: AtomicU64,
+    flushed: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl Persistence {
+    /// Opens the store under `dir`. A directory that cannot be created
+    /// or written yields a *degraded* (memory-only) persistence layer
+    /// with a one-time warning — never an error.
+    #[must_use]
+    pub fn open(dir: &Path, quiet: bool) -> Persistence {
+        let (store, degraded) = match Store::open(dir) {
+            Ok(store) => (Some(store), false),
+            Err(e) => {
+                if !quiet {
+                    eprintln!("serve: persistence degraded to memory-only: {e}");
+                }
+                (None, true)
+            }
+        };
+        Persistence {
+            store,
+            quiet,
+            degraded: AtomicBool::new(degraded),
+            warned: AtomicBool::new(degraded),
+            loaded: AtomicU64::new(0),
+            skipped_corrupt: AtomicU64::new(0),
+            flushed: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the layer is running memory-only.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Records `loaded` recovered entries (the startup pass reports what
+    /// it actually installed, after the capacity cap).
+    pub fn note_loaded(&self, loaded: u64) {
+        self.loaded.fetch_add(loaded, Ordering::Relaxed);
+    }
+
+    /// Records `skipped` corrupt records from the startup pass.
+    pub fn note_skipped(&self, skipped: u64) {
+        self.skipped_corrupt.fetch_add(skipped, Ordering::Relaxed);
+    }
+
+    /// Demotes to memory-only after a runtime write failure, warning
+    /// exactly once.
+    fn degrade(&self, why: &PersistError) {
+        self.degraded.store(true, Ordering::Relaxed);
+        if !self.warned.swap(true, Ordering::Relaxed) && !self.quiet {
+            eprintln!("serve: persistence degraded to memory-only: {why}");
+        }
+    }
+
+    /// Writes one completed entry through to disk (best-effort: a
+    /// failure degrades to memory-only instead of failing the request).
+    pub fn save(&self, key: &str, artifact: &Artifact) {
+        if self.is_degraded() {
+            return;
+        }
+        if let Some(store) = &self.store {
+            match store.save(key, artifact) {
+                Ok(bytes) => {
+                    self.flushed.fetch_add(1, Ordering::Relaxed);
+                    self.bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
+                Err(e) => self.degrade(&e),
+            }
+        }
+    }
+
+    /// Writes `key` only if its segment file is missing (the
+    /// shutdown-flush path; write-through usually already covered it).
+    pub fn save_if_missing(&self, key: &str, artifact: &Artifact) {
+        if self.is_degraded() {
+            return;
+        }
+        if let Some(store) = &self.store {
+            if !store.contains(key) {
+                self.save(key, artifact);
+            }
+        }
+    }
+
+    /// Drops an evicted entry's segment file.
+    pub fn remove(&self, key: &str) {
+        if self.is_degraded() {
+            return;
+        }
+        if let Some(store) = &self.store {
+            store.remove(key);
+        }
+    }
+
+    /// Runs the startup recovery scan (empty when degraded).
+    #[must_use]
+    pub fn recover(&self) -> Recovery {
+        match (&self.store, self.is_degraded()) {
+            (Some(store), false) => {
+                let recovery = store.recover();
+                self.bytes.fetch_add(recovery.bytes, Ordering::Relaxed);
+                recovery
+            }
+            _ => Recovery::default(),
+        }
+    }
+
+    /// Exports the `serve.persist.*` metrics into `m`.
+    pub fn export(&self, m: &mut triarch_simcore::metrics::MetricsReport) {
+        m.counter("serve.persist.loaded", self.loaded.load(Ordering::Relaxed));
+        m.counter("serve.persist.skipped_corrupt", self.skipped_corrupt.load(Ordering::Relaxed));
+        m.counter("serve.persist.flushed", self.flushed.load(Ordering::Relaxed));
+        m.counter("serve.persist.bytes", self.bytes.load(Ordering::Relaxed));
+        m.gauge("serve.persist.degraded", if self.is_degraded() { 1.0 } else { 0.0 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(body: &str) -> Artifact {
+        Artifact { content_type: String::from("text/plain"), body: String::from(body) }
+    }
+
+    /// A fresh scratch directory (unit tests cannot use
+    /// `CARGO_TARGET_TMPDIR`, which cargo only defines for integration
+    /// tests).
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("triarch-persist-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn entries_round_trip_byte_identically() {
+        let a = Artifact {
+            content_type: String::from("text/html"),
+            body: String::from("<html>\nline two\u{2014}</html>"),
+        };
+        let record = encode_entry("triarch-job v1 driver=table3 workload=paper", &a);
+        let (key, decoded) = decode_entry(&record).unwrap();
+        assert_eq!(key, "triarch-job v1 driver=table3 workload=paper");
+        assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn foreign_layout_version_is_rejected_with_the_pinned_message() {
+        let mut record = encode_entry("k", &artifact("x"));
+        record[4] = 9;
+        let err = decode_entry(&record).unwrap_err();
+        assert_eq!(err, PersistError::ForeignLayout { got: 9 });
+        assert_eq!(err.to_string(), "unsupported cache layout version 9 (this build writes 1)");
+    }
+
+    #[test]
+    fn torn_truncated_and_bit_flipped_records_are_typed_corruption() {
+        let record = encode_entry("key", &artifact("body bytes"));
+        // Truncation at every prefix must fail typed, never panic.
+        for cut in 0..record.len() {
+            let err = decode_entry(&record[..cut]).unwrap_err();
+            assert!(matches!(err, PersistError::Corrupt { .. }), "cut at {cut}: {err:?}");
+        }
+        // A bit flip anywhere past the header is a checksum (or length)
+        // failure; a flip in the magic is a bad-magic failure.
+        for at in [0, 6, record.len() - 3] {
+            let mut flipped = record.clone();
+            flipped[at] ^= 0x40;
+            assert!(decode_entry(&flipped).is_err(), "flip at {at} must not decode");
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = record.clone();
+        padded.push(0);
+        let err = decode_entry(&padded).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn store_saves_recovers_and_skips_corrupt_records() {
+        let dir = scratch("unit");
+        let store = Store::open(&dir).unwrap();
+        store.save("alpha", &artifact("one")).unwrap();
+        store.save("beta", &artifact("two")).unwrap();
+        store.save("gamma", &artifact("three")).unwrap();
+
+        // Truncate one record and bit-flip another.
+        let alpha = store.path_for("alpha");
+        let bytes = fs::read(&alpha).unwrap();
+        fs::write(&alpha, &bytes[..bytes.len() / 2]).unwrap();
+        let beta = store.path_for("beta");
+        let mut bytes = fs::read(&beta).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&beta, &bytes).unwrap();
+        // And leave a stale temp file from an "interrupted" write.
+        fs::write(dir.join("dead.trsc.tmp"), b"partial").unwrap();
+
+        let recovery = store.recover();
+        assert_eq!(recovery.skipped_corrupt, 2);
+        assert_eq!(recovery.entries.len(), 1);
+        assert_eq!(recovery.entries[0].0, "gamma");
+        assert_eq!(recovery.entries[0].1.body, "three");
+        assert!(!dir.join("dead.trsc.tmp").exists(), "stale temp files are swept");
+
+        // Removal drops the file; re-recovery sees one fewer entry.
+        store.remove("gamma");
+        assert!(!store.contains("gamma"));
+    }
+
+    #[test]
+    fn unusable_directory_degrades_instead_of_failing() {
+        let dir = scratch("degraded");
+        fs::create_dir_all(&dir).unwrap();
+        let squatter = dir.join("squatter");
+        fs::write(&squatter, "not a directory").unwrap();
+
+        let p = Persistence::open(&squatter.join("sub"), true);
+        assert!(p.is_degraded());
+        // Every operation is a safe no-op in degraded mode.
+        p.save("k", &artifact("x"));
+        p.remove("k");
+        let recovery = p.recover();
+        assert!(recovery.entries.is_empty());
+
+        let mut m = triarch_simcore::metrics::MetricsReport::new();
+        p.export(&mut m);
+        let prom = m.render_prometheus();
+        assert!(prom.contains("triarch_serve_persist_degraded 1"), "{prom}");
+    }
+}

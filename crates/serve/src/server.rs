@@ -21,17 +21,18 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use triarch_core::driver::{self, JobSpec};
+use triarch_core::driver::{self, Artifact, JobSpec};
 use triarch_pool::panic_message;
 use triarch_simcore::metrics::MetricsReport;
 use triarch_simcore::SimError;
 
 use crate::admission::Admission;
 use crate::cache::ResultCache;
+use crate::persist::Persistence;
 use crate::protocol::{self, Frame, FrameKind};
 use crate::{lock, ServeError};
 
@@ -137,6 +138,14 @@ pub struct ServeConfig {
     /// Suppress informational stderr logging (`--quiet` /
     /// `TRIARCH_QUIET=1`).
     pub quiet: bool,
+    /// Crash-safe cache persistence root (`--cache-dir`). `None` keeps
+    /// the cache memory-only; an unusable directory demotes to
+    /// memory-only (degraded) instead of failing.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-job wall-clock deadline (`--job-timeout`). A job that takes
+    /// longer answers a typed `deadline-exceeded` error frame and is
+    /// never cached.
+    pub job_timeout: Option<Duration>,
     /// Test hook: park cache-miss builds while held (see [`HoldGate`]).
     pub hold: Option<Arc<HoldGate>>,
 }
@@ -153,6 +162,8 @@ impl ServeConfig {
             cache_entries: 64,
             jobs: 1,
             quiet: false,
+            cache_dir: None,
+            job_timeout: None,
             hold: None,
         }
     }
@@ -164,12 +175,15 @@ struct ServerState {
     cache: ResultCache,
     jobs: usize,
     quiet: bool,
+    persist: Option<Persistence>,
+    job_timeout: Option<Duration>,
     hold: Option<Arc<HoldGate>>,
     stop: AtomicBool,
     addr: Addr,
     requests: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 impl ServerState {
@@ -193,6 +207,10 @@ impl ServerState {
         m.gauge("serve.queue.capacity", adm.capacity as f64);
         m.gauge("serve.inflight", adm.active as f64);
         m.gauge("serve.workers", adm.workers as f64);
+        m.counter("serve.deadline.exceeded", self.deadline_exceeded.load(Ordering::Relaxed));
+        if let Some(persist) = &self.persist {
+            persist.export(&mut m);
+        }
         m
     }
 }
@@ -322,18 +340,40 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
             (Listener::Unix(listener), Addr::Unix(path.clone()))
         }
     };
+    let persist = config.cache_dir.as_deref().map(|dir| Persistence::open(dir, config.quiet));
     let state = Arc::new(ServerState {
         admission: Admission::new(config.workers, config.queue),
         cache: ResultCache::new(config.cache_entries),
         jobs: config.jobs.max(1),
         quiet: config.quiet,
+        persist,
+        job_timeout: config.job_timeout,
         hold: config.hold,
         stop: AtomicBool::new(false),
         addr,
         requests: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         connections: AtomicU64::new(0),
+        deadline_exceeded: AtomicU64::new(0),
     });
+    // Startup recovery: load every valid record (capped at the cache
+    // bound — excess files are dropped so a restart can never resurrect
+    // more than `cache_entries` entries), skip corrupt ones, count both.
+    if let Some(persist) = &state.persist {
+        let recovery = persist.recover();
+        let skipped = recovery.skipped_corrupt;
+        let (installed, overflow) = state.cache.preload(recovery.entries);
+        persist.note_loaded(installed as u64);
+        persist.note_skipped(skipped);
+        for key in &overflow {
+            persist.remove(key);
+        }
+        if !state.quiet && !persist.is_degraded() {
+            eprintln!(
+                "serve: recovered {installed} cached entries ({skipped} corrupt records skipped)"
+            );
+        }
+    }
     if !state.quiet {
         eprintln!(
             "serve: listening on {} ({} workers, queue {}, cache {} entries, {} pool jobs)",
@@ -379,6 +419,16 @@ fn accept_loop(state: &Arc<ServerState>, listener: &Listener) {
     }
     for h in handlers {
         let _ = h.join();
+    }
+    // Graceful drain complete: every inflight job has answered. Flush
+    // any cache entry whose segment file is missing (write-through
+    // normally already covered them; this catches entries that landed
+    // while persistence was briefly unavailable or preloaded entries
+    // whose files were corrupted on disk after loading).
+    if let Some(persist) = &state.persist {
+        for (key, artifact) in state.cache.entries() {
+            persist.save_if_missing(&key, &artifact);
+        }
     }
     if !state.quiet {
         eprintln!("serve: stopped");
@@ -447,17 +497,26 @@ fn handle_job(state: &Arc<ServerState>, body: &[u8]) -> Result<(FrameKind, Vec<u
     })?;
     let key = spec.canonical();
     let permit = state.admission.admit()?;
-    let result = state.cache.get_or_build(&key, || {
-        if let Some(gate) = &state.hold {
-            gate.wait();
-        }
-        match catch_unwind(AssertUnwindSafe(|| driver::run_job(&spec, state.jobs))) {
-            Ok(r) => r,
-            Err(payload) => Err(SimError::job_panicked(0, panic_message(&*payload))),
-        }
-    });
+    let result = state.cache.get_or_build_traced(&key, || execute_job(state, &spec));
     drop(permit);
-    let (artifact, hit) = result.map_err(ServeError::Sim)?;
+    let (artifact, hit, evicted) = result.map_err(|e| match e {
+        SimError::DeadlineExceeded { millis } => {
+            state.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            ServeError::DeadlineExceeded { millis }
+        }
+        other => ServeError::Sim(other),
+    })?;
+    // Write-through persistence: a fresh miss lands on disk before its
+    // response leaves; entries the LRU bound pushed out lose their
+    // segment files so a restart cannot resurrect them.
+    if let Some(persist) = &state.persist {
+        if !hit {
+            persist.save(&key, &artifact);
+        }
+        for evicted_key in &evicted {
+            persist.remove(evicted_key);
+        }
+    }
     if !state.quiet {
         eprintln!(
             "serve: {key} [{:016x}] -> {} ({} bytes)",
@@ -468,6 +527,56 @@ fn handle_job(state: &Arc<ServerState>, body: &[u8]) -> Result<(FrameKind, Vec<u
     }
     let kind = if hit { FrameKind::OkHit } else { FrameKind::OkMiss };
     Ok((kind, protocol::encode_artifact(&artifact.content_type, &artifact.body)))
+}
+
+/// Runs one driver job with panic containment (and the test hold gate).
+fn run_build(
+    spec: &JobSpec,
+    jobs: usize,
+    hold: Option<&Arc<HoldGate>>,
+) -> Result<Artifact, SimError> {
+    if let Some(gate) = hold {
+        gate.wait();
+    }
+    match catch_unwind(AssertUnwindSafe(|| driver::run_job(spec, jobs))) {
+        Ok(r) => r,
+        Err(payload) => Err(SimError::job_panicked(0, panic_message(&*payload))),
+    }
+}
+
+/// Runs one job, enforcing the configured wall-clock deadline.
+///
+/// Without `--job-timeout` the build runs inline on the handler thread.
+/// With a deadline, the build runs on a watched thread and the handler
+/// waits at most `limit`: the service-layer analogue of the
+/// `CycleBudget` watchdog — host time instead of simulated cycles. On
+/// expiry the handler answers a typed [`SimError::DeadlineExceeded`]
+/// (never cached, like every error) and detaches the runner; the
+/// stranded result is discarded when it eventually lands.
+fn execute_job(state: &Arc<ServerState>, spec: &JobSpec) -> Result<Artifact, SimError> {
+    let Some(limit) = state.job_timeout else {
+        return run_build(spec, state.jobs, state.hold.as_ref());
+    };
+    let (tx, rx) = mpsc::channel();
+    let spec = spec.clone();
+    let jobs = state.jobs;
+    let hold = state.hold.clone();
+    thread::spawn(move || {
+        // The receiver may have timed out and gone; a send error just
+        // means nobody wants the stranded result.
+        let _ = tx.send(run_build(&spec, jobs, hold.as_ref()));
+    });
+    match rx.recv_timeout(limit) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            Err(SimError::deadline_exceeded(limit.as_millis() as u64))
+        }
+        // Unreachable in practice: run_build contains panics, so the
+        // sender always sends. Typed anyway rather than panicking.
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Err(SimError::job_panicked(0, "job runner thread vanished"))
+        }
+    }
 }
 
 #[cfg(test)]

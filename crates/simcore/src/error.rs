@@ -42,6 +42,15 @@ pub enum SimError {
         /// The budget limit that was exceeded.
         limit: u64,
     },
+    /// A wall-clock job deadline expired before the job finished — the
+    /// serving layer's analogue of [`SimError::BudgetExceeded`]: the
+    /// watchdog fires on host time instead of simulated cycles. The
+    /// partial result is discarded and never cached, so retrying with a
+    /// longer deadline is always safe.
+    DeadlineExceeded {
+        /// The wall-clock limit that expired, in milliseconds.
+        millis: u64,
+    },
     /// The machine detected an unrecoverable injected fault (uncorrectable
     /// ECC error, dropped transaction past its retry budget) and aborted.
     DetectedFault {
@@ -89,6 +98,12 @@ impl SimError {
         SimError::Capacity { what: what.into(), needed, available }
     }
 
+    /// Convenience constructor for [`SimError::DeadlineExceeded`].
+    #[must_use]
+    pub fn deadline_exceeded(millis: u64) -> Self {
+        SimError::DeadlineExceeded { millis }
+    }
+
     /// Convenience constructor for [`SimError::DetectedFault`].
     pub fn detected_fault(what: impl Into<String>) -> Self {
         SimError::DetectedFault { what: what.into() }
@@ -113,7 +128,12 @@ impl SimError {
     /// or fault detection) rather than a configuration/shape problem.
     #[must_use]
     pub fn is_detected_abort(&self) -> bool {
-        matches!(self, SimError::BudgetExceeded { .. } | SimError::DetectedFault { .. })
+        matches!(
+            self,
+            SimError::BudgetExceeded { .. }
+                | SimError::DeadlineExceeded { .. }
+                | SimError::DetectedFault { .. }
+        )
     }
 }
 
@@ -130,6 +150,9 @@ impl fmt::Display for SimError {
             SimError::Unsupported { what } => write!(f, "unsupported: {what}"),
             SimError::BudgetExceeded { spent, limit } => {
                 write!(f, "cycle budget exceeded: spent {spent} cycles of a {limit}-cycle budget")
+            }
+            SimError::DeadlineExceeded { millis } => {
+                write!(f, "job deadline exceeded: no result after {millis} ms")
             }
             SimError::DetectedFault { what } => write!(f, "detected fault: {what}"),
             SimError::JobPanicked { job, what } => {
@@ -165,6 +188,9 @@ mod tests {
         let e = SimError::BudgetExceeded { spent: 501, limit: 500 };
         assert_eq!(e.to_string(), "cycle budget exceeded: spent 501 cycles of a 500-cycle budget");
 
+        let e = SimError::deadline_exceeded(250);
+        assert_eq!(e.to_string(), "job deadline exceeded: no result after 250 ms");
+
         let e = SimError::detected_fault("uncorrectable double-bit dram error at word 7");
         assert!(e.to_string().starts_with("detected fault:"));
         assert!(e.to_string().contains("word 7"));
@@ -193,6 +219,7 @@ mod tests {
             SimError::capacity("x", 2, 1),
             SimError::unsupported("x"),
             SimError::BudgetExceeded { spent: 2, limit: 1 },
+            SimError::deadline_exceeded(1),
             SimError::detected_fault("x"),
             SimError::job_panicked(0, "x"),
             SimError::overloaded("x"),
@@ -207,6 +234,7 @@ mod tests {
                 SimError::Capacity { .. } => false,
                 SimError::Unsupported { .. } => false,
                 SimError::BudgetExceeded { .. } => true,
+                SimError::DeadlineExceeded { .. } => true,
                 SimError::DetectedFault { .. } => true,
                 SimError::JobPanicked { .. } => false,
                 SimError::Overloaded { .. } => false,
