@@ -26,6 +26,11 @@ echo "== cargo clippy triarch-profile (deny unwrap/expect) =="
 cargo clippy -p triarch-profile --all-targets -- -D warnings \
   -D clippy::unwrap_used -D clippy::expect_used
 
+# triarch-dpu carries crate-level #![warn(clippy::unwrap_used,
+# clippy::expect_used)]; -D warnings promotes them to errors.
+echo "== cargo clippy triarch-dpu (deny unwrap/expect) =="
+cargo clippy -p triarch-dpu --all-targets -- -D warnings
+
 # triarch-serve carries crate-level #![warn(clippy::unwrap_used,
 # clippy::expect_used)], so -D warnings alone denies them without
 # poisoning its workspace dependencies (core is allowed its expects).
@@ -76,11 +81,11 @@ if echo "$dse_out" | grep -q "\[FAIL\]"; then
   exit 1
 fi
 
-echo "== metrics conservation smoke (drift 0 on all 15 cells) =="
+echo "== metrics conservation smoke (drift 0 on all 18 cells) =="
 m="$(cargo run --release -q -p triarch-bench --bin repro -- metrics target/ci-metrics --small --jobs 2 2>/dev/null)"
 drifts="$(echo "$m" | grep -c "cycle conservation drift 0$" || true)"
-if [ "$drifts" != "15" ]; then
-  echo "expected 15 cells with cycle conservation drift 0, saw $drifts" >&2
+if [ "$drifts" != "18" ]; then
+  echo "expected 18 cells with cycle conservation drift 0, saw $drifts" >&2
   echo "$m" >&2
   exit 1
 fi
@@ -89,11 +94,11 @@ test -s target/ci-metrics/metrics.prom || {
   exit 1
 }
 
-echo "== flame smoke (fold drift 0 on all 15 cells) =="
+echo "== flame smoke (fold drift 0 on all 18 cells) =="
 fl="$(cargo run --release -q -p triarch-bench --bin repro -- flame target/ci-flame --small --jobs 2 2>/dev/null)"
 fd="$(echo "$fl" | grep -c "fold drift 0$" || true)"
-if [ "$fd" != "15" ]; then
-  echo "expected 15 cells with fold drift 0, saw $fd" >&2
+if [ "$fd" != "18" ]; then
+  echo "expected 18 cells with fold drift 0, saw $fd" >&2
   echo "$fl" >&2
   exit 1
 fi
@@ -102,12 +107,12 @@ test -s target/ci-flame/viram-corner-turn.folded || {
   exit 1
 }
 
-echo "== HTML report smoke (all 15 cells, byte-identical regeneration) =="
+echo "== HTML report smoke (all 18 cells, byte-identical regeneration) =="
 cargo run --release -q -p triarch-bench --bin repro -- \
   report target/ci-report --small --campaigns 2 --jobs 2 --quiet >/dev/null
 cargo run --release -q -p triarch-bench --bin repro -- \
   report target/ci-report-again --small --campaigns 2 --jobs 1 --quiet >/dev/null
-for arch in PPC Altivec VIRAM Imagine Raw; do
+for arch in PPC Altivec VIRAM Imagine Raw DPU; do
   for kernel in "Corner Turn" CSLC "Beam Steering"; do
     grep -q "$arch / $kernel" target/ci-report/report.html || {
       echo "report.html is missing cell $arch / $kernel" >&2

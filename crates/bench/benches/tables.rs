@@ -1,7 +1,7 @@
 //! Criterion benches regenerating Tables 1–4.
 //!
 //! Table 1 and Table 2 are configuration reads; Table 3 is one full
-//! simulated cell per machine (the full 15-cell table is exercised by the
+//! simulated cell per machine (the full 18-cell table is exercised by the
 //! `repro` binary — benching each cell separately keeps Criterion's
 //! sample counts sane); Table 4 evaluates the roofline model.
 

@@ -535,6 +535,7 @@ fn cycles_prefix(arch: Architecture) -> &'static str {
         Architecture::Viram => "viram.cycles.",
         Architecture::Imagine => "imagine.cycles.",
         Architecture::Raw => "raw.cycles.",
+        Architecture::Dpu => "dpu.cycles.",
     }
 }
 

@@ -188,10 +188,9 @@ fn parse_submit(args: &[String]) -> Result<JobSpec, String> {
                     value.parse().map_err(|_| format!("invalid --campaigns '{value}'"))?;
             }
             "--arch" => {
-                arch = Some(
-                    Architecture::from_name(value)
-                        .ok_or_else(|| format!("unknown architecture '{value}'"))?,
-                );
+                arch = Some(Architecture::from_name(value).ok_or_else(|| {
+                    format!("unknown architecture '{value}' (expected one of: {})", arch_names())
+                })?);
             }
             "--kernel" => {
                 kernel = Some(
@@ -226,6 +225,13 @@ fn read_artifact(path: &str) -> Result<String, String> {
 /// The comma-separated driver wire names, for usage messages.
 fn driver_names() -> String {
     DriverKind::ALL.iter().map(|d| d.name()).collect::<Vec<_>>().join(", ")
+}
+
+/// The comma-separated architecture names, for usage messages — kept in
+/// lockstep with [`Architecture::ALL`] so adding a machine row updates
+/// the diagnostic automatically.
+fn arch_names() -> String {
+    Architecture::ALL.map(|a| a.name()).join(", ")
 }
 
 fn run(opts: &Options) -> Result<(), String> {

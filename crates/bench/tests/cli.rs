@@ -53,7 +53,7 @@ fn profdiff_of_the_committed_artifact_against_itself_is_empty() {
     let out = repro(&["profdiff", baseline, baseline]);
     assert!(out.status.success(), "{}", stderr_of(&out));
     let stdout = stdout_of(&out);
-    assert!(stdout.contains("profdiff: no differences (15 cells compared)"), "{stdout}");
+    assert!(stdout.contains("profdiff: no differences (18 cells compared)"), "{stdout}");
 }
 
 #[test]
@@ -77,7 +77,7 @@ fn profdiff_names_the_moved_category_on_a_perturbed_artifact() {
     let out = repro(&["profdiff", baseline_path().to_str().unwrap(), perturbed.to_str().unwrap()]);
     assert!(out.status.success(), "{}", stderr_of(&out));
     let stdout = stdout_of(&out);
-    assert!(stdout.contains("1 of 15 matched cells changed"), "{stdout}");
+    assert!(stdout.contains("1 of 18 matched cells changed"), "{stdout}");
     assert!(stdout.contains(&category), "expected category '{category}' in:\n{stdout}");
 }
 
@@ -251,6 +251,43 @@ fn servectl_unknown_driver_lists_all_seven_valid_drivers() {
     for driver in ["table3", "dse", "faultsweep", "metrics", "report", "flame", "profdiff"] {
         assert!(stderr.contains(driver), "driver {driver} missing from error:\n{stderr}");
     }
+}
+
+/// The unknown-architecture diagnostic must enumerate every valid row —
+/// including the DPU machine — so a typo'd `--arch` is self-correcting.
+#[test]
+fn servectl_unknown_arch_lists_all_six_architectures() {
+    let out = servectl(&["submit", "flame", "--arch", "cray", "--kernel", "cslc"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("unknown architecture 'cray'"), "{stderr}");
+    assert!(stderr.contains("expected one of: PPC, Altivec, VIRAM, Imagine, Raw, DPU"), "{stderr}");
+}
+
+/// A baseline whose architecture grid differs in size from the fresh run
+/// must fail the gate with the explicit count-mismatch message — the
+/// gate may never pass silently on the intersection of shared cells.
+#[test]
+fn perfgate_fails_loudly_on_cell_count_mismatch() {
+    let baseline = fs::read_to_string(baseline_path()).unwrap();
+    let mut report = BenchReport::parse(&baseline).unwrap();
+    let cells = report.cells.len();
+    report.cells.pop();
+    let dir = tmp("perfgate-count-mismatch");
+    let shrunk = dir.join("shrunk.json");
+    fs::write(&shrunk, report.render()).unwrap();
+
+    let out = perfgate(&[baseline_path().to_str().unwrap(), shrunk.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains(&format!(
+            "cell count mismatch: baseline has {cells} cells, fresh run has {} — \
+             the architecture grid changed; regenerate the committed baseline",
+            cells - 1
+        )),
+        "{stderr}"
+    );
 }
 
 #[test]

@@ -16,6 +16,7 @@
 
 use std::fmt;
 
+use triarch_dpu::{Dpu, DpuConfig};
 use triarch_imagine::{Imagine, ImagineConfig};
 use triarch_kernels::{Kernel, SignalMachine, WorkloadSet};
 use triarch_ppc::{Ppc, PpcConfig, Variant};
@@ -26,7 +27,8 @@ use triarch_simcore::trace::{AggregateSink, TraceBreakdown};
 use triarch_simcore::{KernelRun, SimError};
 use triarch_viram::{Viram, ViramConfig};
 
-/// The five machines of the study, in the paper's row order.
+/// The six machines of the study, in scorecard row order: the paper's
+/// five 2003 rows plus the modern DPU cross-era row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Architecture {
     /// Scalar PowerPC G4 (measured baseline).
@@ -39,16 +41,20 @@ pub enum Architecture {
     Imagine,
     /// Raw tiled processor.
     Raw,
+    /// UPMEM-style DPU-per-DRAM-bank PIM (the 2020s cross-era row).
+    Dpu,
 }
 
 impl Architecture {
-    /// All machines in Table 3 row order.
-    pub const ALL: [Architecture; 5] = [
+    /// All machines in scorecard row order (Table 3's five rows, then
+    /// the cross-era DPU row).
+    pub const ALL: [Architecture; 6] = [
         Architecture::Ppc,
         Architecture::Altivec,
         Architecture::Viram,
         Architecture::Imagine,
         Architecture::Raw,
+        Architecture::Dpu,
     ];
 
     /// The three research machines (excluding the baseline rows).
@@ -64,6 +70,7 @@ impl Architecture {
             Architecture::Viram => "VIRAM",
             Architecture::Imagine => "Imagine",
             Architecture::Raw => "Raw",
+            Architecture::Dpu => "DPU",
         }
     }
 
@@ -126,6 +133,8 @@ pub enum MachineSpec {
     Raw(RawConfig),
     /// The G4 baseline with an explicit configuration and code path.
     Ppc(PpcConfig, Variant),
+    /// The DPU module with an explicit configuration.
+    Dpu(DpuConfig),
 }
 
 impl MachineSpec {
@@ -139,6 +148,7 @@ impl MachineSpec {
             MachineSpec::Raw(_) => Architecture::Raw,
             MachineSpec::Ppc(_, Variant::Scalar) => Architecture::Ppc,
             MachineSpec::Ppc(_, Variant::Altivec) => Architecture::Altivec,
+            MachineSpec::Dpu(_) => Architecture::Dpu,
         }
     }
 
@@ -155,10 +165,12 @@ impl MachineSpec {
             MachineSpec::Paper(Architecture::Viram) => Box::new(Viram::new()?),
             MachineSpec::Paper(Architecture::Imagine) => Box::new(Imagine::new()?),
             MachineSpec::Paper(Architecture::Raw) => Box::new(Raw::new()?),
+            MachineSpec::Paper(Architecture::Dpu) => Box::new(Dpu::new()?),
             MachineSpec::Viram(cfg) => Box::new(Viram::with_config(cfg.clone())?),
             MachineSpec::Imagine(cfg) => Box::new(Imagine::with_config(cfg.clone())?),
             MachineSpec::Raw(cfg) => Box::new(Raw::with_config(cfg.clone())?),
             MachineSpec::Ppc(cfg, variant) => Box::new(Ppc::with_config(cfg.clone(), *variant)?),
+            MachineSpec::Dpu(cfg) => Box::new(Dpu::with_config(cfg.clone())?),
         })
     }
 
@@ -235,6 +247,7 @@ const _: () = {
     assert_send::<Imagine>();
     assert_send::<Raw>();
     assert_send::<Ppc>();
+    assert_send::<Dpu>();
     assert_send::<MachineSpec>();
     assert_send::<Box<dyn SignalMachine + Send>>();
 };
@@ -253,6 +266,7 @@ mod tests {
                 Architecture::Ppc | Architecture::Altivec => assert_eq!(mhz, 1000.0),
                 Architecture::Viram => assert_eq!(mhz, 200.0),
                 Architecture::Imagine | Architecture::Raw => assert_eq!(mhz, 300.0),
+                Architecture::Dpu => assert_eq!(mhz, 350.0),
             }
         }
     }
@@ -260,7 +274,7 @@ mod tests {
     #[test]
     fn names_match_paper_rows() {
         let names: Vec<&str> = Architecture::ALL.iter().map(|a| a.name()).collect();
-        assert_eq!(names, vec!["PPC", "Altivec", "VIRAM", "Imagine", "Raw"]);
+        assert_eq!(names, vec!["PPC", "Altivec", "VIRAM", "Imagine", "Raw", "DPU"]);
         assert_eq!(Architecture::RESEARCH.len(), 3);
         assert_eq!(Architecture::Viram.to_string(), "VIRAM");
     }
@@ -304,6 +318,7 @@ mod tests {
             MachineSpec::Ppc(PpcConfig::paper(), Variant::Altivec).arch(),
             Architecture::Altivec
         );
+        assert_eq!(MachineSpec::Dpu(DpuConfig::paper()).arch(), Architecture::Dpu);
     }
 
     #[test]

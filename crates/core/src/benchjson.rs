@@ -249,6 +249,17 @@ pub fn compare(baseline: &BenchReport, fresh: &BenchReport, tolerance: f64) -> V
         ));
         return violations;
     }
+    // Gate the cell count *before* walking the intersection: a grown or
+    // shrunk architecture grid must fail the gate by itself, loudly,
+    // instead of quietly passing on whatever cells the two reports share.
+    if baseline.cells.len() != fresh.cells.len() {
+        violations.push(format!(
+            "cell count mismatch: baseline has {} cells, fresh run has {} — \
+             the architecture grid changed; regenerate the committed baseline",
+            baseline.cells.len(),
+            fresh.cells.len()
+        ));
+    }
     for base in &baseline.cells {
         let Some(new) = fresh.cells.iter().find(|c| c.arch == base.arch && c.kernel == base.kernel)
         else {
@@ -739,6 +750,28 @@ mod tests {
         let mut small = sample();
         small.workload = String::from("small");
         assert!(compare(&baseline, &small, 0.0)[0].contains("workload mismatch"));
+    }
+
+    /// Growing the architecture grid (e.g. adding a machine row) must
+    /// trip the gate with an explicit count mismatch — never pass
+    /// silently on the intersection of cells both reports happen to
+    /// share.
+    #[test]
+    fn compare_fails_loudly_on_cell_count_mismatch() {
+        let baseline = sample();
+        let mut grown = sample();
+        grown.cells.push(BenchCell { arch: String::from("DPU"), ..sample().cells[1].clone() });
+        let violations = compare(&baseline, &grown, 0.0);
+        assert_eq!(
+            violations[0],
+            "cell count mismatch: baseline has 2 cells, fresh run has 3 — \
+             the architecture grid changed; regenerate the committed baseline",
+        );
+        // The count gate is symmetric: a shrunk fresh run trips it too.
+        let mut shrunk = sample();
+        shrunk.cells.remove(0);
+        let violations = compare(&baseline, &shrunk, 0.0);
+        assert!(violations[0].contains("cell count mismatch"), "{violations:?}");
     }
 
     #[test]

@@ -159,6 +159,16 @@ pub fn cell_slug(arch: Architecture, kernel: Kernel) -> String {
     format!("{}-{}", slug(arch.name()), slug(kernel.name()))
 }
 
+/// The architecture-set token baked into every grid driver's canonical
+/// form: the lowercased row names in grid order. Adding a machine row
+/// (as the cross-era DPU row did) changes every grid artifact, so the
+/// token keeps a new build's requests from ever aliasing a cache entry
+/// produced by an older, smaller grid.
+#[must_use]
+pub fn arch_set() -> String {
+    Architecture::ALL.map(|a| slug(a.name())).join("+")
+}
+
 /// One fully-specified, deterministic unit of campaign work.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
@@ -236,15 +246,16 @@ impl JobSpec {
         let mut out = format!("triarch-job v{JOB_SCHEMA_VERSION} driver={}", self.driver.name());
         match self.driver {
             DriverKind::Table3 | DriverKind::Dse | DriverKind::Metrics => {
-                let _ = write!(out, " workload={}", self.workload.name());
+                let _ = write!(out, " workload={} archs={}", self.workload.name(), arch_set());
             }
             DriverKind::Faultsweep | DriverKind::Report => {
                 let _ = write!(
                     out,
-                    " workload={} seed={} campaigns={}",
+                    " workload={} seed={} campaigns={} archs={}",
                     self.workload.name(),
                     self.seed,
-                    self.campaigns
+                    self.campaigns,
+                    arch_set()
                 );
             }
             DriverKind::Flame => {
@@ -585,7 +596,11 @@ mod tests {
     #[test]
     fn canonical_forms_are_stable_and_driver_scoped() {
         let spec = JobSpec::new(DriverKind::Table3, WorkloadKind::Paper);
-        assert_eq!(spec.canonical(), "triarch-job v1 driver=table3 workload=paper");
+        assert_eq!(
+            spec.canonical(),
+            "triarch-job v1 driver=table3 workload=paper \
+             archs=ppc+altivec+viram+imagine+raw+dpu"
+        );
 
         // Seed/campaigns are irrelevant to table3, so changing them must
         // not change the cache key.
@@ -600,7 +615,8 @@ mod tests {
         reseeded.seed = 7;
         assert_eq!(
             sweep.canonical(),
-            "triarch-job v1 driver=faultsweep workload=small seed=42 campaigns=8"
+            "triarch-job v1 driver=faultsweep workload=small seed=42 campaigns=8 \
+             archs=ppc+altivec+viram+imagine+raw+dpu"
         );
         assert_ne!(reseeded.key(), sweep.key());
 

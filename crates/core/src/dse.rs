@@ -14,6 +14,7 @@
 //! * **Imagine**: clusters {4, 8, 16} × memory words/cycle {1, 2, 4},
 //! * **Raw**: mesh {2×2, 4×4, 8×8},
 //! * **PPC**: L2 size {128 KB … 1 MB},
+//! * **DPU**: DPUs/rank {16, 64, 128} × tasklets/DPU {2, 8, 16},
 //!
 //! — runs every kernel at every point (each run still verified against
 //! the golden kernel outputs), renders per-architecture sensitivity
@@ -24,6 +25,7 @@
 
 use std::fmt;
 
+use triarch_dpu::DpuConfig;
 use triarch_imagine::ImagineConfig;
 use triarch_kernels::verify::tolerance;
 use triarch_kernels::{Kernel, WorkloadSet};
@@ -59,6 +61,12 @@ pub const IMAGINE_WPC: [u32; 3] = [1, 2, 4];
 pub const RAW_MESH: [usize; 3] = [2, 4, 8];
 /// PPC L2 capacities swept, in KiB (paper: 256).
 pub const PPC_L2_KIB: [usize; 4] = [128, 256, 512, 1024];
+/// DPU counts per rank swept (reference module: 64, i.e. 128 DPUs over
+/// two ranks).
+pub const DPU_DPR: [usize; 3] = [16, 64, 128];
+/// Tasklets per DPU swept (reference module: 16, saturating the
+/// 11-stage revolving pipeline).
+pub const DPU_TASKLETS: [usize; 3] = [2, 8, 16];
 
 /// The full design-space grid, in deterministic render order.
 #[must_use]
@@ -103,6 +111,18 @@ pub fn points() -> Vec<DsePoint> {
             label: format!("l2={kib}K"),
             is_paper: kib == 256,
         });
+    }
+    for dpr in DPU_DPR {
+        for tasklets in DPU_TASKLETS {
+            let mut cfg = DpuConfig::paper();
+            cfg.dpus_per_rank = dpr;
+            cfg.tasklets = tasklets;
+            points.push(DsePoint {
+                spec: MachineSpec::Dpu(cfg.clone()),
+                label: format!("dpus={} tasklets={tasklets}", cfg.dpus()),
+                is_paper: dpr == 64 && tasklets == 16,
+            });
+        }
     }
     points
 }
@@ -176,9 +196,13 @@ impl DseReport {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for arch in
-            [Architecture::Viram, Architecture::Imagine, Architecture::Raw, Architecture::Ppc]
-        {
+        for arch in [
+            Architecture::Viram,
+            Architecture::Imagine,
+            Architecture::Raw,
+            Architecture::Ppc,
+            Architecture::Dpu,
+        ] {
             let mut labels: Vec<(String, bool)> = Vec::new();
             for run in self.runs.iter().filter(|r| r.arch == arch) {
                 if !labels.iter().any(|(l, _)| *l == run.label) {
@@ -308,6 +332,37 @@ impl DseReport {
             None => missing("PPC corner turn is conflict-bound, not capacity-bound (SS4.2)"),
         });
 
+        // Cross-era: the DPU's revolving pipeline only issues at full
+        // rate with enough resident tasklets, so the compute-heavy CSLC
+        // (software FP) speeds up sharply from 2 to 16 tasklets — while
+        // the host-bound corner turn barely moves, because no amount of
+        // tasklet parallelism buys back the missing inter-DPU network.
+        let cslc_gain = self.gain(
+            Architecture::Dpu,
+            "dpus=128 tasklets=2",
+            "dpus=128 tasklets=16",
+            Kernel::Cslc,
+        );
+        let ct_gain = self.gain(
+            Architecture::Dpu,
+            "dpus=128 tasklets=2",
+            "dpus=128 tasklets=16",
+            Kernel::CornerTurn,
+        );
+        findings.push(match (cslc_gain, ct_gain) {
+            (Some(cslc), Some(ct)) => Finding {
+                name: "DPU pipeline needs tasklet parallelism; host transfers do not (cross-era)",
+                detail: format!(
+                    "8x tasklets give CSLC {cslc:.2}x but the corner turn only {ct:.2}x"
+                ),
+                pass: cslc >= 2.0 && ct <= 1.25,
+            },
+            _ => missing(
+                "DPU pipeline needs tasklet parallelism; host transfers do not \
+                          (cross-era)",
+            ),
+        });
+
         findings
     }
 
@@ -374,6 +429,7 @@ mod tests {
                 + IMAGINE_CLUSTERS.len() * IMAGINE_WPC.len()
                 + RAW_MESH.len()
                 + PPC_L2_KIB.len()
+                + DPU_DPR.len() * DPU_TASKLETS.len()
         );
         // Exactly one paper point per architecture.
         for arch in [Architecture::Viram, Architecture::Imagine, Architecture::Raw] {
@@ -382,6 +438,10 @@ mod tests {
         }
         assert_eq!(
             points.iter().filter(|p| p.spec.arch() == Architecture::Ppc && p.is_paper).count(),
+            1
+        );
+        assert_eq!(
+            points.iter().filter(|p| p.spec.arch() == Architecture::Dpu && p.is_paper).count(),
             1
         );
         // Labels are unique within an architecture.
@@ -416,6 +476,7 @@ mod tests {
             (Architecture::Imagine, "clusters=8 wpc=2"),
             (Architecture::Raw, "mesh=4x4 tiles=16"),
             (Architecture::Ppc, "l2=256K"),
+            (Architecture::Dpu, "dpus=128 tasklets=16"),
         ] {
             for kernel in Kernel::ALL {
                 let swept = report.cycles(arch, label, kernel).unwrap();
@@ -436,13 +497,15 @@ mod tests {
             "Imagine sensitivity",
             "Raw sensitivity",
             "PPC sensitivity",
+            "DPU sensitivity",
             "*lanes=8 ags=4",
             "*clusters=8 wpc=2",
             "*mesh=4x4",
             "*l2=256K",
+            "*dpus=128 tasklets=16",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
-        assert_eq!(report.findings().len(), 4);
+        assert_eq!(report.findings().len(), 5);
     }
 }

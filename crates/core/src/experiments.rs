@@ -38,8 +38,14 @@ pub fn table1() -> TextTable {
 /// Table 2 — processor parameters (clock, ALU count, peak GFLOPS).
 #[must_use]
 pub fn table2() -> TextTable {
-    let mut t = TextTable::new(vec!["", "PPC G4", "VIRAM", "Imagine", "Raw"]);
-    let archs = [Architecture::Ppc, Architecture::Viram, Architecture::Imagine, Architecture::Raw];
+    let mut t = TextTable::new(vec!["", "PPC G4", "VIRAM", "Imagine", "Raw", "DPU"]);
+    let archs = [
+        Architecture::Ppc,
+        Architecture::Viram,
+        Architecture::Imagine,
+        Architecture::Raw,
+        Architecture::Dpu,
+    ];
     let infos: Vec<_> =
         archs.iter().map(|a| a.machine().expect("builtin machines construct")).collect();
     t.row(
@@ -245,6 +251,11 @@ pub fn model_demands(arch: Architecture, kernel: Kernel, workloads: &WorkloadSet
             d.offchip_words = 0;
         }
     }
+    // The DPU takes every demand unmodified: the streamed word counts are
+    // exact for its explicit-transfer mappings — "off-chip" is the host
+    // interface every operand and result crosses once each way, and
+    // "on-chip" is the aggregate bank DMA the same words cross between
+    // MRAM and the scratchpads.
     d
 }
 
@@ -353,6 +364,8 @@ mod tests {
         assert!(t2.contains("1000"));
         assert!(t2.contains("14.40"));
         assert!(t2.contains("4.64"));
+        assert!(t2.contains("DPU"));
+        assert!(t2.contains("5.60")); // DPU peak under software FP emulation
     }
 
     #[test]

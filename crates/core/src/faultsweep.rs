@@ -271,7 +271,7 @@ mod tests {
     fn sweep_covers_every_pair_and_classifies_every_run() {
         let workloads = WorkloadSet::small(42).unwrap();
         let table = sweep(&workloads, 3, 2).unwrap();
-        assert_eq!(table.runs.len(), 5 * 3 * 2);
+        assert_eq!(table.runs.len(), 6 * 3 * 2);
         for arch in Architecture::ALL {
             let total: u64 = table.counts(arch).iter().sum();
             assert_eq!(total, 3 * 2, "{arch}");

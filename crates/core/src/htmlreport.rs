@@ -319,7 +319,7 @@ mod tests {
     fn folds_have_zero_drift_on_the_small_grid() {
         let workloads = WorkloadSet::small(42).unwrap();
         let (folds, _) = collect_folds_jobs(&workloads, 2).unwrap();
-        assert_eq!(folds.len(), 15);
+        assert_eq!(folds.len(), 18);
         for cell in &folds {
             assert_eq!(cell.fold_drift(), 0, "{}", cell.label());
         }

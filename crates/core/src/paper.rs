@@ -5,6 +5,12 @@ use triarch_kernels::Kernel;
 use crate::arch::Architecture;
 
 /// Table 3 of the paper: measured cycles (in units of 10³ cycles).
+///
+/// The DPU row post-dates the paper by two decades, so there is no
+/// published 2003 measurement; its values are the pinned reference
+/// cycle counts of this repository's DPU model at the paper workload
+/// sizes, and the band tests hold the reproduction to them the same
+/// way they hold the five published rows.
 #[must_use]
 pub fn table3_kilocycles(arch: Architecture, kernel: Kernel) -> f64 {
     use Architecture as A;
@@ -25,6 +31,9 @@ pub fn table3_kilocycles(arch: Architecture, kernel: Kernel) -> f64 {
         (A::Raw, K::CornerTurn) => 146.0,
         (A::Raw, K::Cslc) => 357.0,
         (A::Raw, K::BeamSteering) => 19.0,
+        (A::Dpu, K::CornerTurn) => 606.592,
+        (A::Dpu, K::Cslc) => 316.608,
+        (A::Dpu, K::BeamSteering) => 42.072,
     }
 }
 
@@ -38,6 +47,7 @@ pub fn table2_parameters(arch: Architecture) -> (f64, u32, f64) {
         Architecture::Viram => (200.0, 16, 3.2),
         Architecture::Imagine => (300.0, 48, 14.4),
         Architecture::Raw => (300.0, 16, 4.64),
+        Architecture::Dpu => (350.0, 128, 5.6),
     }
 }
 

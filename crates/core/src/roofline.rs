@@ -148,7 +148,7 @@ impl CellUtilization {
     }
 }
 
-/// The full 15-cell utilization scorecard.
+/// The full 18-cell utilization scorecard.
 #[derive(Debug, Clone)]
 pub struct Scorecard {
     cells: Vec<CellUtilization>,

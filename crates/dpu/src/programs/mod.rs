@@ -1,0 +1,12 @@
+//! PrIM-style kernel programs for the DPU machine.
+//!
+//! Every mapping follows the same discipline the UPMEM benchmarking
+//! literature arrives at: partition the data so each DPU works only on
+//! its own MRAM bank, stage operands with host bulk transfers, move
+//! bank data through WRAM with explicit DMA, and route *all* cross-DPU
+//! data movement through the host — the machine has no inter-DPU
+//! network, so there is nowhere else for it to go.
+
+pub mod beam_steering;
+pub mod corner_turn;
+pub mod cslc;

@@ -1,0 +1,40 @@
+//! Span-label hygiene: every counted trace span the DPU engine emits
+//! must use fold-safe frame labels (`[A-Za-z0-9._/-]`), so the
+//! collapsed-stack profiles in `triarch-profile` never need lossy
+//! sanitization and the flamegraph color keys stay 1:1 with the
+//! engine's `CycleBreakdown` categories. The fold totals must also
+//! re-add to the reported cycle counts exactly (the counted-span
+//! contract).
+
+use triarch_dpu::Dpu;
+use triarch_kernels::{SignalMachine, WorkloadSet};
+use triarch_profile::{is_fold_safe, FoldSink};
+
+#[test]
+fn all_counted_span_labels_are_fold_safe() {
+    let workloads = WorkloadSet::small(7).unwrap();
+    let mut machine = Dpu::new().unwrap();
+
+    let mut sink = FoldSink::new();
+    let ct = machine.corner_turn_traced(&workloads.corner_turn, &mut sink).unwrap();
+    let ct_fold = sink.into_fold();
+    let mut sink = FoldSink::new();
+    let cslc = machine.cslc_traced(&workloads.cslc, &mut sink).unwrap();
+    let cslc_fold = sink.into_fold();
+    let mut sink = FoldSink::new();
+    let bs = machine.beam_steering_traced(&workloads.beam_steering, &mut sink).unwrap();
+    let bs_fold = sink.into_fold();
+
+    for (kernel, run, fold) in [
+        ("corner turn", &ct, &ct_fold),
+        ("cslc", &cslc, &cslc_fold),
+        ("beam steering", &bs, &bs_fold),
+    ] {
+        assert!(!fold.is_empty(), "{kernel}: no counted spans");
+        assert_eq!(fold.total(), run.cycles.get(), "{kernel}: fold drift");
+        for (category, name, _) in fold.iter() {
+            assert!(is_fold_safe(category), "{kernel}: unsafe category label '{category}'");
+            assert!(is_fold_safe(name), "{kernel}: unsafe span label '{name}'");
+        }
+    }
+}

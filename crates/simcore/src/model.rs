@@ -70,6 +70,20 @@ impl ThroughputModel {
         }
     }
 
+    /// UPMEM-style DPU module: 128 banks each feeding their DPU one
+    /// word/cycle (128 aggregate on-chip words/cycle), a narrow host
+    /// interface at 4 words/cycle as the "off-chip" path, and 128
+    /// integer ops/cycle peak (one per DPU; floating point is software
+    /// emulation and shows up as extra ops, not a lower rate).
+    #[must_use]
+    pub fn dpu() -> Self {
+        ThroughputModel {
+            onchip_words_per_cycle: 128.0,
+            offchip_words_per_cycle: 4.0,
+            ops_per_cycle: 128.0,
+        }
+    }
+
     /// Predicts the lower-bound execution cycles for a kernel demand.
     ///
     /// # Errors

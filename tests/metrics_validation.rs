@@ -32,6 +32,7 @@ fn cycles_prefix(arch: Architecture) -> &'static str {
         Architecture::Viram => "viram.cycles.",
         Architecture::Imagine => "imagine.cycles.",
         Architecture::Raw => "raw.cycles.",
+        Architecture::Dpu => "dpu.cycles.",
     }
 }
 
@@ -79,6 +80,7 @@ fn every_cell_carries_a_nonempty_metrics_report() {
             Architecture::Viram => "viram",
             Architecture::Imagine => "imagine",
             Architecture::Raw => "raw",
+            Architecture::Dpu => "dpu",
         };
         assert_eq!(
             run.metrics.counter_value(&format!("{prefix}.run.ops")),

@@ -40,9 +40,9 @@ fn table3_is_byte_identical_at_every_worker_count() {
             parallel.render_breakdowns()
         );
         assert_eq!(baseline, rendered, "table3 diverged at jobs={jobs}");
-        assert_eq!(stats.jobs, 15, "5 machines x 3 kernels");
+        assert_eq!(stats.jobs, 18, "6 machines x 3 kernels");
         assert_eq!(
-            stats.injector_pops, 15,
+            stats.injector_pops, 18,
             "flat fan-out: every job reaches a worker via the injector"
         );
     }
@@ -71,7 +71,7 @@ fn faultsweep_is_byte_identical_at_every_worker_count() {
     for jobs in WORKER_COUNTS {
         let (parallel, stats) = faultsweep::sweep_jobs(&workloads, SEED, 3, jobs).unwrap();
         assert_eq!(serial, parallel.render(), "fault sweep diverged at jobs={jobs}");
-        assert_eq!(stats.jobs, 45, "5 machines x 3 kernels x 3 campaigns");
+        assert_eq!(stats.jobs, 54, "6 machines x 3 kernels x 3 campaigns");
     }
 }
 
@@ -108,10 +108,10 @@ fn pool_stats_expose_the_fan_out_shape() {
     let workloads = WorkloadSet::small(SEED).unwrap();
     let (_, stats) = experiments::table3_jobs(&workloads, 4).unwrap();
     assert_eq!(stats.workers, 4);
-    assert_eq!(stats.jobs, 15);
+    assert_eq!(stats.jobs, 18);
     assert!(stats.wall >= std::time::Duration::ZERO);
     assert!(stats.busy >= stats.wall.mul_f64(0.0));
     // The render line is stable enough for log scraping.
     let line = stats.render();
-    assert!(line.starts_with("pool: 15 jobs on 4 workers"), "{line}");
+    assert!(line.starts_with("pool: 18 jobs on 4 workers"), "{line}");
 }

@@ -38,7 +38,7 @@ fn collapsed_corpus(folds: &[FoldedCell]) -> String {
 fn fold_totals_readd_to_breakdowns_with_drift_zero_on_all_cells() {
     let folds = folds_at(1);
     assert_eq!(folds.len(), grid().len());
-    assert_eq!(folds.len(), 15);
+    assert_eq!(folds.len(), 18);
     for cell in &folds {
         // Total conservation: fold total == engine-reported cycles.
         assert_eq!(cell.fold_drift(), 0, "{}: fold drift", cell.label());

@@ -171,6 +171,38 @@ fn identical_concurrent_requests_coalesce_onto_one_build() {
     handle.shutdown();
 }
 
+/// The cache key bakes in the architecture set: a grid artifact cached
+/// when the study had five rows can never be served for the six-row
+/// grid, because the canonical job form names every machine row.
+#[test]
+fn grid_job_cache_keys_carry_the_architecture_set() {
+    for driver in [
+        DriverKind::Table3,
+        DriverKind::Dse,
+        DriverKind::Metrics,
+        DriverKind::Faultsweep,
+        DriverKind::Report,
+    ] {
+        let spec = JobSpec::new(driver, WorkloadKind::Small);
+        let canonical = spec.canonical();
+        assert!(
+            canonical.contains("archs=ppc+altivec+viram+imagine+raw+dpu"),
+            "{}: canonical form must name the full architecture set: {canonical}",
+            driver.name(),
+        );
+    }
+    // Single-cell jobs key on their cell instead; the set token would
+    // only blunt the per-cell cache.
+    let flame = flame_job(Kernel::CornerTurn);
+    assert!(!flame.canonical().contains("archs="), "{}", flame.canonical());
+
+    // And a served grid artifact actually carries the sixth row.
+    let (handle, client) = start(|_| {});
+    let response = client.submit(&JobSpec::new(DriverKind::Table3, WorkloadKind::Small)).unwrap();
+    assert!(response.body.contains("DPU"), "table3 body must carry the DPU row");
+    handle.shutdown();
+}
+
 /// Writes raw bytes to the daemon and decodes the error-frame reply as
 /// `(code, message)`.
 fn raw_error_round_trip(addr: &Addr, request: &[u8]) -> (String, String) {

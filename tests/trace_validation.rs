@@ -17,7 +17,7 @@ const SEED: u64 = 42;
 fn trace_totals_match_breakdowns_within_one_percent() {
     let workloads = WorkloadSet::paper(SEED).unwrap();
     let checks = tracecheck::check_all(&workloads).unwrap();
-    assert_eq!(checks.len(), 15, "5 machines x 3 kernels");
+    assert_eq!(checks.len(), 18, "6 machines x 3 kernels");
     for check in &checks {
         assert!(
             check.agrees_within(0.01),
