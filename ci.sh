@@ -40,6 +40,11 @@ cargo clippy -p triarch-serve --all-targets -- -D warnings
 echo "== cargo clippy serve_durability suite (deny warnings) =="
 cargo clippy -p triarch-bench --test serve_durability -- -D warnings
 
+# The obs module and its validation suite ride the same crate-level
+# unwrap/expect lints; the test target needs its own invocation.
+echo "== cargo clippy serve_validation suite (deny warnings) =="
+cargo clippy -p triarch-serve --test serve_validation -- -D warnings
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
@@ -207,6 +212,42 @@ redo="$(durctl submit table3)" || dur_fail "resubmit after corruption failed"
 [ "$redo" = "$one_shot" ] || dur_fail "recomputed response differs from one-shot repro table3"
 durctl shutdown || dur_fail "durable daemon shutdown failed"
 wait "$dur_pid" || dur_fail "durable daemon exited non-zero"
+
+echo "== serve observability smoke (access log, A/B identity, top) =="
+obs_sock="target/ci-obs.sock"
+obs_log="target/ci-obs-access.jsonl"
+rm -f "$obs_log"
+./target/release/repro serve --addr "unix:$obs_sock" --access-log "$obs_log" --jobs 2 --quiet &
+obs_pid=$!
+obsctl() {
+  ./target/release/servectl --addr "unix:$obs_sock" --quiet "$@"
+}
+obs_fail() {
+  echo "$1" >&2
+  kill -9 "$obs_pid" 2>/dev/null || true
+  exit 1
+}
+./target/release/servectl --addr "unix:$obs_sock" --quiet --connect-retries 50 ping \
+  || obs_fail "observability daemon never became reachable"
+cold="$(obsctl submit table3)" || obs_fail "cold table3 submit failed"
+warm="$(obsctl submit table3)" || obs_fail "warm table3 submit failed"
+# A/B determinism at zero tolerance: with the access log on, the served
+# artifacts are byte-identical to the unlogged one-shot run —
+# observability never touches the deterministic surface.
+[ "$cold" = "$one_shot" ] || obs_fail "logged daemon output differs from one-shot repro table3"
+[ "$cold" = "$warm" ] || obs_fail "warm hit differs from cold miss under --access-log"
+obsctl top --count 1 | grep -q "serve top" || obs_fail "servectl top printed no dashboard header"
+obsctl shutdown || obs_fail "observability daemon shutdown failed"
+wait "$obs_pid" || obs_fail "observability daemon exited non-zero"
+[ "$(wc -l < "$obs_log")" -eq 2 ] || obs_fail "expected exactly two access-log records"
+sed -n 1p "$obs_log" | grep -q '"outcome":"miss"' || obs_fail "first record is not a miss"
+sed -n 2p "$obs_log" | grep -q '"outcome":"hit"' || obs_fail "second record is not a hit"
+for phase in accept_us queue_us lookup_us build_us persist_us respond_us; do
+  [ "$(grep -c "\"$phase\":[0-9]" "$obs_log")" -eq 2 ] \
+    || obs_fail "phase timing $phase missing or malformed in the access log"
+done
+./target/release/servectl tail "$obs_log" | grep -q "req-" \
+  || obs_fail "servectl tail did not render the records"
 
 echo "== perf gate (fresh BENCH_table3.json vs committed baseline) =="
 # Tolerance is explicit: the simulators are deterministic, so 0 drift is

@@ -61,7 +61,7 @@
 //! runs.
 //!
 //! `serve [--addr A] [--workers N] [--queue N] [--cache-entries N]
-//! [--cache-dir DIR] [--job-timeout MS]` starts the
+//! [--cache-dir DIR] [--job-timeout MS] [--access-log FILE]` starts the
 //! simulation-as-a-service daemon and blocks until a client sends a
 //! shutdown request. `--addr` takes `<host>:<port>` (default
 //! `127.0.0.1:7444`) or `unix:<path>`; `--workers` bounds concurrent
@@ -72,9 +72,11 @@
 //! byte-identical to cold misses (corrupt records are skipped, an
 //! unusable directory demotes to memory-only). `--job-timeout` bounds
 //! each job's wall-clock time; a job past its deadline answers a typed
-//! `deadline-exceeded` error and is never cached. Submit jobs with the
-//! `servectl` binary; repeated requests are served from the cache
-//! byte-identically.
+//! `deadline-exceeded` error and is never cached. `--access-log FILE`
+//! appends one phase-timed JSONL record per job request (an unwritable
+//! path demotes to logging-off with a one-time warning). Submit jobs
+//! with the `servectl` binary; repeated requests are served from the
+//! cache byte-identically.
 //!
 //! `dse [--small]` sweeps microarchitectural parameters around the
 //! paper's design points (VIRAM lanes × address generators, Imagine
@@ -183,6 +185,9 @@ struct Options {
     /// Crash-safe cache persistence directory (`--cache-dir`, serve
     /// only); empty means memory-only.
     cache_dir: String,
+    /// Phase-timed JSONL access log path (`--access-log`, serve only);
+    /// empty means no log.
+    access_log: String,
     /// Per-job wall-clock deadline in milliseconds (`--job-timeout`,
     /// serve only); 0 means no deadline.
     job_timeout_ms: u64,
@@ -211,6 +216,7 @@ impl Options {
             queue: 16,
             cache_entries: 64,
             cache_dir: String::new(),
+            access_log: String::new(),
             job_timeout_ms: 0,
         };
         let mut i = 0;
@@ -273,6 +279,14 @@ impl Options {
                         return Err(String::from("--cache-dir requires a non-empty path"));
                     }
                     opts.cache_dir.clone_from(value);
+                    i += 2;
+                }
+                "--access-log" => {
+                    let value = args.get(i + 1).ok_or_else(|| format!("{arg} requires a path"))?;
+                    if value.is_empty() {
+                        return Err(String::from("--access-log requires a non-empty path"));
+                    }
+                    opts.access_log.clone_from(value);
                     i += 2;
                 }
                 "--job-timeout" => {
@@ -356,6 +370,7 @@ impl Options {
                 ("--queue", opts.queue != 16),
                 ("--cache-entries", opts.cache_entries != 64),
                 ("--cache-dir", !opts.cache_dir.is_empty()),
+                ("--access-log", !opts.access_log.is_empty()),
                 ("--job-timeout", opts.job_timeout_ms != 0),
             ] {
                 if given {
@@ -744,6 +759,9 @@ fn run_serve(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if !opts.cache_dir.is_empty() {
         config.cache_dir = Some(std::path::PathBuf::from(&opts.cache_dir));
     }
+    if !opts.access_log.is_empty() {
+        config.access_log = Some(std::path::PathBuf::from(&opts.access_log));
+    }
     if opts.job_timeout_ms > 0 {
         config.job_timeout = Some(std::time::Duration::from_millis(opts.job_timeout_ms));
     }
@@ -885,7 +903,7 @@ fn main() {
                  [flame [dir] [--small]] [report [dir] [--small]] \
                  [profdiff <a.json> <b.json>] \
                  [serve [--addr A] [--workers N] [--queue N] [--cache-entries N] \
-                 [--cache-dir DIR] [--job-timeout MS]]"
+                 [--cache-dir DIR] [--job-timeout MS] [--access-log FILE]]"
             );
             process::exit(2);
         }

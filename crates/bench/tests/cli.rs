@@ -223,15 +223,19 @@ fn repro_serve_flags_are_validated_before_any_socket_work() {
         assert_eq!(out.status.code(), Some(2), "{flag}: {}", stderr_of(&out));
         assert!(stderr_of(&out).contains("must be at least 1"), "{}", stderr_of(&out));
     }
-    let out = repro(&["serve", "--cache-dir", ""]);
-    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
-    assert!(stderr_of(&out).contains("--cache-dir requires a non-empty path"));
+    for flag in ["--cache-dir", "--access-log"] {
+        let out = repro(&["serve", flag, ""]);
+        assert_eq!(out.status.code(), Some(2), "{flag}: {}", stderr_of(&out));
+        assert!(stderr_of(&out).contains(&format!("{flag} requires a non-empty path")));
+    }
 
     // Serve-only flags without the serve selector are usage errors.
     let out = repro(&["--workers", "3", "table1"]);
     assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
     assert!(stderr_of(&out).contains("--workers requires the serve selector"));
-    for (flag, value) in [("--cache-dir", "/tmp/x"), ("--job-timeout", "500")] {
+    for (flag, value) in
+        [("--cache-dir", "/tmp/x"), ("--job-timeout", "500"), ("--access-log", "/tmp/x.jsonl")]
+    {
         let out = repro(&[flag, value, "table1"]);
         assert_eq!(out.status.code(), Some(2), "{flag}: {}", stderr_of(&out));
         assert!(
@@ -318,12 +322,60 @@ fn servectl_usage_errors_exit_two_with_usage_text() {
         &["submit", "profdiff"],
         &["submit", "table3", "--arch", "viram"],
         &["stats", "extra"],
+        &["top", "--interval", "0"],
+        &["top", "--interval", "abc"],
+        &["top", "--bogus", "1"],
+        &["tail"],
+        &["tail", "--follow"],
+        &["tail", "some.jsonl", "--bogus"],
     ];
     for args in cases {
         let out = servectl(args);
         assert_eq!(out.status.code(), Some(2), "args {args:?}: {}", stderr_of(&out));
         assert!(stderr_of(&out).contains("usage: servectl"), "args {args:?}: {}", stderr_of(&out));
     }
+}
+
+/// `servectl tail` pretty-prints records offline (no daemon involved)
+/// and warns-then-continues past malformed lines instead of erroring.
+#[test]
+fn servectl_tail_pretty_prints_and_skips_malformed_lines() {
+    let dir = tmp("servectl-tail");
+    let log = dir.join("access.jsonl");
+    fs::write(
+        &log,
+        concat!(
+            r#"{"schema":1,"id":"req-00c0ffee-00000001","driver":"table3","key":"00000000deadbeef","outcome":"miss","bytes_out":64,"accept_us":1,"queue_us":2,"lookup_us":3,"build_us":4,"persist_us":5,"respond_us":6}"#,
+            "\n",
+            "not json\n",
+            r#"{"schema":1,"id":"req-00c0ffee-00000002","driver":"table3","key":"00000000deadbeef","outcome":"hit","bytes_out":64,"accept_us":1,"queue_us":0,"lookup_us":1,"build_us":0,"persist_us":0,"respond_us":2}"#,
+            "\n",
+        ),
+    )
+    .unwrap();
+
+    let out = servectl(&["tail", log.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "one pretty line per valid record:\n{stdout}");
+    assert_eq!(
+        lines[0],
+        "req-00c0ffee-00000001 table3 [00000000deadbeef] miss 64 bytes total 21us \
+         (accept=1us queue=2us lookup=3us build=4us persist=5us respond=6us)"
+    );
+    assert!(
+        lines[1].starts_with("req-00c0ffee-00000002 table3 [00000000deadbeef] hit 64 bytes"),
+        "{}",
+        lines[1]
+    );
+    assert!(stderr_of(&out).contains("skipping malformed access-log line"), "{}", stderr_of(&out));
+
+    // A missing file is a runtime error naming the path.
+    let gone = dir.join("missing.jsonl");
+    let out = servectl(&["tail", gone.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("cannot read access log"), "{}", stderr_of(&out));
 }
 
 #[test]
@@ -389,6 +441,27 @@ fn serve_daemon_and_servectl_round_trip_over_a_unix_socket() {
         let dump = stdout_of(&stats);
         if !dump.lines().any(|l| l == "triarch_serve_cache_hits 1") {
             return Err(format!("expected triarch_serve_cache_hits 1 in:\n{dump}"));
+        }
+        // The derived-ratio lines are stderr-only, in the pinned wording.
+        let notes = stderr_of(&stats);
+        if !notes.contains("servectl: cache hit ratio 50.0% (1 of 2 lookups)") {
+            return Err(format!("expected the pinned hit-ratio line in:\n{notes}"));
+        }
+        if !notes.contains("servectl: queue rejection ratio 0.0% (0 of ") {
+            return Err(format!("expected the pinned rejection-ratio line in:\n{notes}"));
+        }
+
+        // One top snapshot renders the dashboard without blocking.
+        let top = servectl(&["--addr", &socket, "top", "--count", "1"]);
+        if !top.status.success() {
+            return Err(format!("top failed: {}", stderr_of(&top)));
+        }
+        let board = stdout_of(&top);
+        if !board.lines().next().is_some_and(|l| l.contains("serve top")) {
+            return Err(format!("expected a serve top header in:\n{board}"));
+        }
+        if !board.contains("cache hit ratio 50.0% (1 of 2 lookups)") {
+            return Err(format!("expected the hit ratio on the dashboard:\n{board}"));
         }
 
         let down = servectl(&["--addr", &socket, "shutdown"]);

@@ -242,6 +242,62 @@ impl Histogram {
             self.sum as f64 / self.total as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket
+    /// counts, interpolating linearly inside the owning bucket — the
+    /// same estimator Prometheus' `histogram_quantile` uses, so a
+    /// client reading the `_bucket{le=…}` exposition computes the same
+    /// figure the server would.
+    ///
+    /// Observations landing in the overflow bucket are reported as the
+    /// last edge (there is no upper bound to interpolate toward).
+    /// Returns `0.0` for an empty histogram; `q` is clamped to
+    /// `[0.0, 1.0]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut cumulative = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            let below = cumulative as f64;
+            cumulative += count;
+            if (cumulative as f64) < rank || *count == 0 {
+                continue;
+            }
+            let Some(&upper) = self.edges.get(i) else {
+                // Overflow bucket: unbounded above, report the last edge.
+                return self.edges[self.edges.len() - 1] as f64;
+            };
+            let lower = if i == 0 { 0.0 } else { self.edges[i - 1] as f64 };
+            let fraction = ((rank - below) / *count as f64).clamp(0.0, 1.0);
+            return lower + (upper as f64 - lower) * fraction;
+        }
+        self.edges[self.edges.len() - 1] as f64
+    }
+
+    /// Rebuilds a histogram from exposed parts — the client-side inverse
+    /// of the Prometheus rendering, used by `servectl top` to compute
+    /// quantiles from a stats dump.
+    ///
+    /// Returns `None` when the edges are empty or not strictly
+    /// ascending, or when `counts` is not one longer than `edges` (the
+    /// trailing overflow bucket).
+    #[must_use]
+    pub fn from_parts(edges: &[u64], counts: &[u64], sum: u64) -> Option<Histogram> {
+        if edges.is_empty() || counts.len() != edges.len() + 1 {
+            return None;
+        }
+        if !edges.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        let mut h = Histogram::with_edges(edges);
+        h.counts.copy_from_slice(counts);
+        h.total = counts.iter().sum();
+        h.sum = sum;
+        Some(h)
+    }
 }
 
 /// One typed metric value.
@@ -742,6 +798,51 @@ mod tests {
 
         let bad = Histogram::with_edges(&[1, 2]);
         assert_eq!(h.merge(&bad), Err(MetricsError::BucketMismatch));
+    }
+
+    #[test]
+    fn quantiles_interpolate_inside_the_owning_bucket() {
+        assert_eq!(Histogram::cycles().quantile(0.5), 0.0, "empty histogram");
+
+        let mut h = Histogram::with_edges(&[10, 20, 40]);
+        for v in [5, 5, 15, 15, 30, 30, 30, 30] {
+            h.observe(v);
+        }
+        // Rank 4 of 8 lands exactly on the (10, 20] bucket's upper edge.
+        assert!((h.quantile(0.5) - 20.0).abs() < 1e-9, "{}", h.quantile(0.5));
+        // Rank 2 exhausts the first bucket: its upper edge, interpolated
+        // from lower bound 0.
+        assert!((h.quantile(0.25) - 10.0).abs() < 1e-9);
+        // Rank 6 is halfway through the (20, 40] bucket.
+        assert!((h.quantile(0.75) - 30.0).abs() < 1e-9);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert!((h.quantile(1.0) - 40.0).abs() < 1e-9);
+
+        // Overflow observations report the last edge: there is nothing
+        // to interpolate toward.
+        let mut h = Histogram::with_edges(&[10, 20]);
+        h.observe(1000);
+        assert_eq!(h.quantile(0.5), 20.0);
+        // Out-of-range q is clamped, not propagated — and with every
+        // observation in the overflow bucket even q=0 can only say
+        // "above the last edge".
+        assert_eq!(h.quantile(7.0), 20.0);
+        assert_eq!(h.quantile(-1.0), 20.0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_the_exposition() {
+        let mut h = Histogram::with_edges(&[1, 2, 4]);
+        for v in [1, 3, 3, 9] {
+            h.observe(v);
+        }
+        let rebuilt = Histogram::from_parts(h.edges(), h.counts(), h.sum()).unwrap();
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.quantile(0.5), h.quantile(0.5));
+
+        assert!(Histogram::from_parts(&[], &[0], 0).is_none(), "empty edges");
+        assert!(Histogram::from_parts(&[1, 2], &[0, 0], 0).is_none(), "missing overflow bucket");
+        assert!(Histogram::from_parts(&[2, 1], &[0, 0, 0], 0).is_none(), "unsorted edges");
     }
 
     #[test]

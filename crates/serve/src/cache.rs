@@ -60,6 +60,29 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
+/// How a lookup was satisfied — the distinction the access log records
+/// (a coalesced wait is answered as a hit on the wire, but its latency
+/// profile is a build wait, so observability keeps them apart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Answered from a stored artifact.
+    Hit,
+    /// This call computed (and stored) the artifact.
+    Miss,
+    /// Parked on a concurrent identical computation.
+    Coalesced,
+}
+
+impl Lookup {
+    /// Whether the artifact came from the cache (stored or coalesced)
+    /// rather than being computed by this call — the wire-level
+    /// hit/miss bit.
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        !matches!(self, Lookup::Miss)
+    }
+}
+
 /// The bounded single-flight result cache.
 pub struct ResultCache {
     capacity: usize,
@@ -114,6 +137,23 @@ impl ResultCache {
         key: &str,
         build: impl FnOnce() -> Result<Artifact, SimError>,
     ) -> Result<(Arc<Artifact>, bool, Vec<String>), SimError> {
+        self.get_or_build_full(key, build)
+            .map(|(artifact, lookup, evicted)| (artifact, lookup.is_hit(), evicted))
+    }
+
+    /// [`ResultCache::get_or_build_traced`] with the full [`Lookup`]
+    /// disposition instead of the collapsed hit/miss boolean — the
+    /// observability layer records hits, misses, and coalesced waits as
+    /// three distinct outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error like [`ResultCache::get_or_build`].
+    pub fn get_or_build_full(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<Artifact, SimError>,
+    ) -> Result<(Arc<Artifact>, Lookup, Vec<String>), SimError> {
         let pending = {
             let mut inner = lock(&self.inner);
             match inner.slots.get(key) {
@@ -121,7 +161,7 @@ impl ResultCache {
                     let artifact = Arc::clone(artifact);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     touch(&mut inner.order, key);
-                    return Ok((artifact, true, Vec::new()));
+                    return Ok((artifact, Lookup::Hit, Vec::new()));
                 }
                 Some(Slot::Building(build)) => {
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -148,7 +188,7 @@ impl ResultCache {
                 done = self.wait(&pending.cv, done);
             }
             #[allow(clippy::unwrap_used)] // loop above guarantees Some
-            return done.clone().unwrap().map(|artifact| (artifact, true, Vec::new()));
+            return done.clone().unwrap().map(|artifact| (artifact, Lookup::Coalesced, Vec::new()));
         }
 
         // This call owns the build. Never cache errors; always publish.
@@ -177,7 +217,7 @@ impl ResultCache {
             *lock(&build_slot.done) = Some(result.clone());
             build_slot.cv.notify_all();
         }
-        result.map(|artifact| (artifact, false, evicted_keys))
+        result.map(|artifact| (artifact, Lookup::Miss, evicted_keys))
     }
 
     /// Installs recovered `(key, artifact)` pairs as `Ready` entries, in
@@ -334,6 +374,18 @@ mod tests {
         assert_eq!((installed, overflow.len()), (0, 0));
         let (a, _) = cache.get_or_build("a", || panic!("preloaded")).unwrap();
         assert_eq!(a.body, "a");
+    }
+
+    #[test]
+    fn the_full_lookup_distinguishes_hit_miss_and_collapses_correctly() {
+        let cache = ResultCache::new(4);
+        let (_, lookup, _) = cache.get_or_build_full("k", || Ok(artifact("x"))).unwrap();
+        assert_eq!(lookup, Lookup::Miss);
+        assert!(!lookup.is_hit());
+        let (_, lookup, _) = cache.get_or_build_full("k", || panic!("cached")).unwrap();
+        assert_eq!(lookup, Lookup::Hit);
+        assert!(lookup.is_hit());
+        assert!(Lookup::Coalesced.is_hit(), "coalesced answers as a hit on the wire");
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct SubmitResponse {
     pub content_type: String,
     /// The artifact bytes, verbatim.
     pub body: String,
+    /// The request id the server minted, echoed only when the client
+    /// opted into the version-2 protocol
+    /// ([`Client::with_request_ids`]); `None` on the default v1 path.
+    pub request_id: Option<String>,
 }
 
 /// A blocking triarch-serve client.
@@ -43,13 +47,24 @@ pub struct Client {
     addr: Addr,
     backoff: Backoff,
     attempts: AtomicU64,
+    trace_ids: bool,
 }
 
 impl Client {
     /// A client for `addr` that fails fast on connection errors.
     #[must_use]
     pub fn new(addr: Addr) -> Client {
-        Client { addr, backoff: Backoff::none(), attempts: AtomicU64::new(0) }
+        Client { addr, backoff: Backoff::none(), attempts: AtomicU64::new(0), trace_ids: false }
+    }
+
+    /// Opts into the version-2 protocol: requests go out as v2 frames
+    /// and the server echoes its minted request id back in the reply.
+    /// Off by default — the default client emits the exact version-1
+    /// bytes every pre-v2 build emitted.
+    #[must_use]
+    pub fn with_request_ids(mut self) -> Client {
+        self.trace_ids = true;
+        self
     }
 
     /// Retries refused connections `retries` times (100 ms apart)
@@ -110,7 +125,7 @@ impl Client {
             }
         };
         let (content_type, body) = protocol::decode_artifact(&reply.body)?;
-        Ok(SubmitResponse { hit, content_type, body })
+        Ok(SubmitResponse { hit, content_type, body, request_id: reply.request_id })
     }
 
     /// Fetches the server's `serve.*` metrics dump (Prometheus text).
@@ -146,7 +161,11 @@ impl Client {
     fn round_trip(&self, kind: FrameKind, body: &[u8]) -> Result<protocol::Frame, ServeError> {
         let mut stream = self.dial()?;
         stream.set_timeouts(IO_TIMEOUT).map_err(|e| ServeError::io(&e))?;
-        protocol::write_frame(&mut stream, kind, body)?;
+        if self.trace_ids {
+            protocol::write_frame_v2(&mut stream, kind, None, body)?;
+        } else {
+            protocol::write_frame(&mut stream, kind, body)?;
+        }
         let reply = protocol::read_frame(&mut stream)?;
         if reply.kind == FrameKind::Error {
             return Err(protocol::decode_error(&reply.body));

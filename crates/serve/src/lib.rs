@@ -31,7 +31,12 @@
 //!   unusable;
 //! * [`backoff`] — the single deterministic seeded
 //!   exponential-backoff-with-jitter retry policy shared by every
-//!   client retry site.
+//!   client retry site;
+//! * [`obs`] — request-level observability: minted trace ids echoed on
+//!   the version-2 protocol, the phase-timed JSONL access log
+//!   (`--access-log`), and the `serve.latency.*` / `serve.phase.*`
+//!   histograms — wall-clock side channels that never touch a
+//!   deterministic artifact.
 //!
 //! Determinism is the load-bearing property: every simulator in the
 //! workspace is a pure function of its inputs, so a cache keyed by the
@@ -53,12 +58,14 @@ pub mod admission;
 pub mod backoff;
 pub mod cache;
 pub mod client;
+pub mod obs;
 pub mod persist;
 pub mod protocol;
 pub mod server;
 
 pub use backoff::Backoff;
 pub use client::{Client, SubmitResponse};
+pub use obs::{AccessRecord, Outcome, PhaseTimes, RequestId, RequestIds};
 pub use server::{parse_addr, serve, Addr, HoldGate, ServeConfig, ServerHandle};
 pub use triarch_core::driver::{Artifact, DriverKind, JobSpec, WorkloadKind};
 

@@ -14,6 +14,7 @@
 //! a typed error frame, not a dead handler thread ([`panic_message`]
 //! renders both payloads identically).
 
+use std::cell::Cell;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -23,7 +24,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use triarch_core::driver::{self, Artifact, JobSpec};
 use triarch_pool::panic_message;
@@ -31,9 +32,10 @@ use triarch_simcore::metrics::MetricsReport;
 use triarch_simcore::SimError;
 
 use crate::admission::Admission;
-use crate::cache::ResultCache;
+use crate::cache::{Lookup, ResultCache};
+use crate::obs::{micros, AccessRecord, Obs, Outcome, PhaseTimes};
 use crate::persist::Persistence;
-use crate::protocol::{self, Frame, FrameKind};
+use crate::protocol::{self, Frame, FrameKind, PROTOCOL_V1};
 use crate::{lock, ServeError};
 
 /// Per-connection socket read/write timeout. Paper-workload report jobs
@@ -146,6 +148,10 @@ pub struct ServeConfig {
     /// longer answers a typed `deadline-exceeded` error frame and is
     /// never cached.
     pub job_timeout: Option<Duration>,
+    /// Phase-timed JSONL access log target (`--access-log`). `None`
+    /// keeps request logging off; an unwritable path demotes to
+    /// logging-off (degraded) instead of failing.
+    pub access_log: Option<PathBuf>,
     /// Test hook: park cache-miss builds while held (see [`HoldGate`]).
     pub hold: Option<Arc<HoldGate>>,
 }
@@ -164,6 +170,7 @@ impl ServeConfig {
             quiet: false,
             cache_dir: None,
             job_timeout: None,
+            access_log: None,
             hold: None,
         }
     }
@@ -176,6 +183,7 @@ struct ServerState {
     jobs: usize,
     quiet: bool,
     persist: Option<Persistence>,
+    obs: Obs,
     job_timeout: Option<Duration>,
     hold: Option<Arc<HoldGate>>,
     stop: AtomicBool,
@@ -211,6 +219,7 @@ impl ServerState {
         if let Some(persist) = &self.persist {
             persist.export(&mut m);
         }
+        self.obs.export(&mut m);
         m
     }
 }
@@ -341,12 +350,17 @@ pub fn serve(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         }
     };
     let persist = config.cache_dir.as_deref().map(|dir| Persistence::open(dir, config.quiet));
+    // The boot token seed: listen address plus pid, so concurrent
+    // daemons mint distinguishable request ids.
+    let obs_seed = format!("{addr}#{}", std::process::id());
+    let obs = Obs::open(obs_seed.as_bytes(), config.access_log.as_deref(), config.quiet);
     let state = Arc::new(ServerState {
         admission: Admission::new(config.workers, config.queue),
         cache: ResultCache::new(config.cache_entries),
         jobs: config.jobs.max(1),
         quiet: config.quiet,
         persist,
+        obs,
         job_timeout: config.job_timeout,
         hold: config.hold,
         stop: AtomicBool::new(false),
@@ -430,9 +444,24 @@ fn accept_loop(state: &Arc<ServerState>, listener: &Listener) {
             persist.save_if_missing(&key, &artifact);
         }
     }
+    // Flush + fsync the access log before the process exits, so the
+    // final requests of a run are never lost to a page cache.
+    state.obs.close();
     if !state.quiet {
         eprintln!("serve: stopped");
     }
+}
+
+/// What one request's handlers learned about it, accumulated on the way
+/// to its [`AccessRecord`]. Only job requests produce a record; probes
+/// (ping / stats / shutdown) leave `is_job` false and are not logged.
+#[derive(Debug, Default)]
+struct Trace {
+    is_job: bool,
+    driver: Option<&'static str>,
+    key: u64,
+    lookup: Option<Lookup>,
+    phases: PhaseTimes,
 }
 
 /// Reads one request, writes one response, closes.
@@ -440,29 +469,74 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: Stream) {
     if stream.set_timeouts(IO_TIMEOUT).is_err() {
         return;
     }
-    let reply = match protocol::read_frame(&mut stream) {
-        Ok(frame) => dispatch(state, &frame),
-        Err(e) => Err(e),
+    let id = state.obs.mint();
+    let mut trace = Trace::default();
+    let accept_start = Instant::now();
+    let read = protocol::read_frame(&mut stream);
+    trace.phases.accept_us = micros(accept_start.elapsed());
+    // Replies mirror the request's protocol version (a request too
+    // broken to carry one gets a v1 error frame), so v1 clients see
+    // byte-identical traffic and only v2 opt-ins receive the id echo.
+    let (version, reply) = match read {
+        Ok(frame) => (frame.version, dispatch(state, &frame, &mut trace)),
+        Err(e) => (PROTOCOL_V1, Err(e)),
     };
-    let (kind, body) = match reply {
-        Ok((kind, body)) => (kind, body),
+    let (kind, body, outcome) = match reply {
+        Ok((kind, body)) => {
+            let outcome = match trace.lookup {
+                Some(Lookup::Hit) => Outcome::Hit,
+                Some(Lookup::Coalesced) => Outcome::Coalesced,
+                Some(Lookup::Miss) | None => Outcome::Miss,
+            };
+            (kind, body, outcome)
+        }
         Err(e) => {
             state.errors.fetch_add(1, Ordering::Relaxed);
             if !state.quiet {
-                eprintln!("serve: request failed: {e}");
+                eprintln!("serve: [{id}] request failed: {e}");
             }
-            (FrameKind::Error, protocol::encode_error(&e))
+            let outcome = match e {
+                ServeError::Overloaded { .. }
+                | ServeError::QueueFull { .. }
+                | ServeError::ShuttingDown => Outcome::Rejected,
+                ServeError::DeadlineExceeded { .. } => Outcome::Deadline,
+                _ => Outcome::Error,
+            };
+            (FrameKind::Error, protocol::encode_error(&e), outcome)
         }
     };
-    if let Err(e) = protocol::write_frame(&mut stream, kind, &body) {
+    // Job replies and their access-log records form one critical
+    // section under the obs order lock, so the log's record order
+    // matches the order clients observe responses in.
+    let order = trace.is_job.then(|| state.obs.order());
+    let respond_start = Instant::now();
+    let wrote =
+        protocol::write_frame_versioned(&mut stream, version, kind, Some(&id.to_string()), &body);
+    trace.phases.respond_us = micros(respond_start.elapsed());
+    if let Err(e) = wrote {
         if !state.quiet {
-            eprintln!("serve: reply failed: {e}");
+            eprintln!("serve: [{id}] reply failed: {e}");
         }
     }
+    if trace.is_job {
+        state.obs.record(&AccessRecord {
+            id: id.to_string(),
+            driver: String::from(trace.driver.unwrap_or("-")),
+            key: trace.key,
+            outcome,
+            bytes_out: body.len() as u64,
+            phases: trace.phases,
+        });
+    }
+    drop(order);
 }
 
 /// Routes one decoded request frame.
-fn dispatch(state: &Arc<ServerState>, frame: &Frame) -> Result<(FrameKind, Vec<u8>), ServeError> {
+fn dispatch(
+    state: &Arc<ServerState>,
+    frame: &Frame,
+    trace: &mut Trace,
+) -> Result<(FrameKind, Vec<u8>), ServeError> {
     match frame.kind {
         FrameKind::PingRequest => Ok((FrameKind::OkMiss, b"pong".to_vec())),
         FrameKind::StatsRequest => {
@@ -476,7 +550,10 @@ fn dispatch(state: &Arc<ServerState>, frame: &Frame) -> Result<(FrameKind, Vec<u
             let _ = connect(&state.addr);
             Ok((FrameKind::OkMiss, b"shutting down".to_vec()))
         }
-        FrameKind::JobRequest => handle_job(state, &frame.body),
+        FrameKind::JobRequest => {
+            trace.is_job = true;
+            handle_job(state, &frame.body, trace)
+        }
         FrameKind::OkMiss | FrameKind::OkHit | FrameKind::Error => Err(ServeError::bad_frame(
             format!("response frame kind {:?} sent as a request", frame.kind),
         )),
@@ -484,7 +561,11 @@ fn dispatch(state: &Arc<ServerState>, frame: &Frame) -> Result<(FrameKind, Vec<u
 }
 
 /// Decodes, admits, and runs (or fetches) one job.
-fn handle_job(state: &Arc<ServerState>, body: &[u8]) -> Result<(FrameKind, Vec<u8>), ServeError> {
+fn handle_job(
+    state: &Arc<ServerState>,
+    body: &[u8],
+    trace: &mut Trace,
+) -> Result<(FrameKind, Vec<u8>), ServeError> {
     state.requests.fetch_add(1, Ordering::Relaxed);
     if state.stop.load(Ordering::SeqCst) {
         return Err(ServeError::ShuttingDown);
@@ -495,27 +576,50 @@ fn handle_job(state: &Arc<ServerState>, body: &[u8]) -> Result<(FrameKind, Vec<u
         SimError::Protocol { what } => ServeError::BadRequest { what },
         other => ServeError::Sim(other),
     })?;
+    trace.driver = Some(spec.driver.name());
+    trace.key = spec.key();
     let key = spec.canonical();
-    let permit = state.admission.admit()?;
-    let result = state.cache.get_or_build_traced(&key, || execute_job(state, &spec));
+    let queue_start = Instant::now();
+    let permit = state.admission.admit();
+    trace.phases.queue_us = micros(queue_start.elapsed());
+    let permit = permit?;
+    // The cache call covers both the lookup and (on a miss) the build;
+    // timing the build from inside the closure splits them apart. A
+    // coalesced wait has no build of its own, so its whole wait is
+    // lookup time.
+    let build_us = Cell::new(0u64);
+    let lookup_start = Instant::now();
+    let result = state.cache.get_or_build_full(&key, || {
+        let build_start = Instant::now();
+        let built = execute_job(state, &spec);
+        build_us.set(micros(build_start.elapsed()));
+        built
+    });
+    let cache_us = micros(lookup_start.elapsed());
     drop(permit);
-    let (artifact, hit, evicted) = result.map_err(|e| match e {
+    trace.phases.build_us = build_us.get();
+    trace.phases.lookup_us = cache_us.saturating_sub(build_us.get());
+    let (artifact, lookup, evicted) = result.map_err(|e| match e {
         SimError::DeadlineExceeded { millis } => {
             state.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
             ServeError::DeadlineExceeded { millis }
         }
         other => ServeError::Sim(other),
     })?;
+    trace.lookup = Some(lookup);
+    let hit = lookup.is_hit();
     // Write-through persistence: a fresh miss lands on disk before its
     // response leaves; entries the LRU bound pushed out lose their
     // segment files so a restart cannot resurrect them.
     if let Some(persist) = &state.persist {
+        let persist_start = Instant::now();
         if !hit {
             persist.save(&key, &artifact);
         }
         for evicted_key in &evicted {
             persist.remove(evicted_key);
         }
+        trace.phases.persist_us = micros(persist_start.elapsed());
     }
     if !state.quiet {
         eprintln!(

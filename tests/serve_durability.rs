@@ -1,7 +1,9 @@
 //! Chaos-testing the durability layer of `triarch-serve`: crash-safe
 //! cache persistence (`--cache-dir`), per-job wall-clock deadlines
-//! (`--job-timeout`), the shared deterministic retry policy, and
-//! degraded memory-only operation.
+//! (`--job-timeout`), the shared deterministic retry policy, degraded
+//! memory-only operation, and the access log's durability contract
+//! (flushed and fsynced on shutdown, demoted to logging-off when the
+//! path is unwritable).
 //!
 //! The suite runs the daemon both in-process (for counter-exact
 //! assertions) and as a real `repro -- serve` subprocess (so it can
@@ -24,7 +26,8 @@ use triarch_core::driver::{DriverKind, JobSpec, WorkloadKind};
 use triarch_kernels::machine::Kernel;
 use triarch_serve::persist::{decode_entry, encode_entry, foreign_layout_message, PersistError};
 use triarch_serve::{
-    parse_addr, serve, Backoff, Client, HoldGate, ServeConfig, ServeError, ServerHandle,
+    parse_addr, serve, AccessRecord, Backoff, Client, HoldGate, Outcome, RequestId, ServeConfig,
+    ServeError, ServerHandle,
 };
 
 /// A fresh scratch directory under the cargo-managed tmpdir.
@@ -305,6 +308,40 @@ fn retry_schedules_are_deterministic_and_pinned() {
 }
 
 #[test]
+fn unwritable_access_log_degrades_to_logging_off_and_keeps_serving() {
+    let dir = tmp("obs-degraded");
+    let squatter = dir.join("squatter");
+    fs::write(&squatter, "a file where the log's parent dir should go").unwrap();
+
+    // The daemon must come up and serve normally — just without a log.
+    let (handle, client) = start(|c| c.access_log = Some(squatter.join("access.jsonl")));
+    let stats = client.stats().unwrap();
+    assert_stats_line(&stats, "triarch_serve_obs_degraded 1.0");
+    let spec = flame_job(Kernel::CornerTurn);
+    let cold = client.submit(&spec).unwrap();
+    assert!(!cold.hit);
+    let warm = client.submit(&spec).unwrap();
+    assert!(warm.hit);
+    assert_eq!(warm.body, cold.body);
+    // Requests are still measured even though nothing is written.
+    // (Records land just after the reply, so poll rather than assert
+    // on the first dump.)
+    let stats = await_stats_line(&client, "triarch_serve_latency_total_count 2");
+    assert_stats_line(&stats, "triarch_serve_obs_logged 0");
+    handle.shutdown();
+    assert!(!squatter.join("access.jsonl").exists(), "degraded mode must not create the log");
+
+    // A writable path on the same daemon config stays healthy.
+    let log = dir.join("access.jsonl");
+    let (handle, client) = start(|c| c.access_log = Some(log.clone()));
+    client.submit(&spec).unwrap();
+    let stats = await_stats_line(&client, "triarch_serve_obs_logged 1");
+    assert_stats_line(&stats, "triarch_serve_obs_degraded 0.0");
+    handle.shutdown();
+    assert!(log.exists());
+}
+
+#[test]
 fn unusable_cache_dir_degrades_to_memory_only_and_keeps_serving() {
     let dir = tmp("degraded");
     let squatter = dir.join("squatter");
@@ -394,6 +431,47 @@ fn sigkilled_daemon_restarts_with_byte_identical_warm_responses() {
     assert!(stderr.contains("recovered"), "restart should log its recovery:\n{stderr}");
 }
 
+/// Runs the daemon as a subprocess with an access log, drives one cold
+/// and one warm request through the *real* `servectl` binary, shuts
+/// down via `servectl shutdown`, and proves the shutdown flushed and
+/// fsynced every record — the last one included — as parseable JSONL.
+#[cfg(unix)]
+#[test]
+fn shutdown_flushes_and_fsyncs_the_access_log() {
+    let dir = tmp("obs-shutdown");
+    let log = dir.join("access.jsonl");
+    let sock = format!("unix:{}", dir.join("daemon.sock").display());
+    let mut child = spawn_daemon(&["--addr", &sock, "--access-log", log.to_str().unwrap()]);
+    let client = Client::new(parse_addr(&sock).unwrap()).with_connect_retries(100);
+    let cold = client.submit(&flame_job(Kernel::CornerTurn)).unwrap();
+    assert!(!cold.hit);
+    let warm = client.submit(&flame_job(Kernel::CornerTurn)).unwrap();
+    assert!(warm.hit);
+
+    // Shut down through the real client binary, as an operator would.
+    let status = Command::new(env!("CARGO_BIN_EXE_servectl"))
+        .args(["--addr", &sock, "--quiet", "shutdown"])
+        .status()
+        .unwrap();
+    assert!(status.success(), "servectl shutdown must exit 0");
+    child.wait().unwrap();
+
+    // Every record is present and parseable, in request order.
+    let text = fs::read_to_string(&log).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one record per job request, flushed by shutdown:\n{text}");
+    let first = AccessRecord::parse(lines[0]).unwrap();
+    let last = AccessRecord::parse(lines[1]).unwrap();
+    assert_eq!(first.outcome, Outcome::Miss);
+    assert_eq!(last.outcome, Outcome::Hit, "the final record must survive the shutdown");
+    assert_eq!(first.driver, "flame");
+    assert_eq!(first.key, last.key, "identical jobs share a cache key");
+    let first_id = RequestId::parse(&first.id).unwrap();
+    let last_id = RequestId::parse(&last.id).unwrap();
+    assert_eq!(first_id.boot, last_id.boot);
+    assert!(first_id.seq < last_id.seq, "sequence numbers grow in request order");
+}
+
 #[cfg(unix)]
 #[test]
 fn quiet_silences_recovery_and_degraded_logging() {
@@ -401,20 +479,39 @@ fn quiet_silences_recovery_and_degraded_logging() {
     let squatter = dir.join("squatter");
     fs::write(&squatter, "not a directory").unwrap();
     let bad_cache = squatter.join("cache");
+    let bad_log = squatter.join("access.jsonl");
 
-    // Non-quiet: the degraded warning and lifecycle lines appear.
+    // Non-quiet: the degraded warnings and lifecycle lines appear.
     let sock = format!("unix:{}", dir.join("loud.sock").display());
-    let child = spawn_daemon(&["--addr", &sock, "--cache-dir", bad_cache.to_str().unwrap()]);
+    let child = spawn_daemon(&[
+        "--addr",
+        &sock,
+        "--cache-dir",
+        bad_cache.to_str().unwrap(),
+        "--access-log",
+        bad_log.to_str().unwrap(),
+    ]);
     let stderr = shutdown_daemon(child, &sock);
     assert!(
         stderr.contains("persistence degraded to memory-only"),
         "expected a one-time degraded warning:\n{stderr}"
     );
+    assert!(
+        stderr.contains("access log degraded to off"),
+        "expected a one-time access-log degraded warning:\n{stderr}"
+    );
 
     // Quiet: byte-for-byte silent, per the PR 5 quiet contract.
     let sock = format!("unix:{}", dir.join("quiet.sock").display());
-    let child =
-        spawn_daemon(&["--addr", &sock, "--cache-dir", bad_cache.to_str().unwrap(), "--quiet"]);
+    let child = spawn_daemon(&[
+        "--addr",
+        &sock,
+        "--cache-dir",
+        bad_cache.to_str().unwrap(),
+        "--access-log",
+        bad_log.to_str().unwrap(),
+        "--quiet",
+    ]);
     let stderr = shutdown_daemon(child, &sock);
     assert!(stderr.is_empty(), "--quiet must silence all daemon stderr, got:\n{stderr}");
 

@@ -2,7 +2,8 @@
 //! (cold miss, warm hit, and in-process driver output are byte
 //! identical), graceful degradation (typed queue-full rejection under
 //! pinned workers, counted in `serve.*`), single-flight coalescing,
-//! wire-protocol robustness against hostile frames, and the Unix-socket
+//! wire-protocol robustness against hostile frames, request-id minting
+//! and echo (v2 opt-in, v1 byte-compatibility), and the Unix-socket
 //! transport.
 //!
 //! Every test binds to an ephemeral endpoint (`127.0.0.1:0` or a
@@ -21,7 +22,8 @@ use triarch_core::arch::Architecture;
 use triarch_core::driver::{self, DriverKind, JobSpec, WorkloadKind};
 use triarch_kernels::machine::Kernel;
 use triarch_serve::{
-    parse_addr, serve, Addr, Client, HoldGate, ServeConfig, ServeError, ServerHandle,
+    parse_addr, serve, Addr, Client, HoldGate, RequestId, RequestIds, ServeConfig, ServeError,
+    ServerHandle,
 };
 
 /// Starts a quiet daemon on an ephemeral TCP port.
@@ -214,7 +216,7 @@ fn raw_error_round_trip(addr: &Addr, request: &[u8]) -> (String, String) {
     let mut header = [0u8; 10];
     stream.read_exact(&mut header).unwrap();
     assert_eq!(&header[..4], b"TRSV", "reply must carry the protocol magic");
-    assert_eq!(header[4], 1, "error replies use this build's version");
+    assert_eq!(header[4], 1, "replies mirror the request's v1 version");
     assert_eq!(header[5], 18, "reply must be an error frame");
     let len = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
     let mut body = vec![0u8; len as usize];
@@ -271,6 +273,125 @@ fn hostile_frames_get_typed_error_replies_not_hangs() {
     // The daemon survives all of the above and still answers stats.
     let stats = client.stats().unwrap();
     assert!(stats.contains("triarch_serve_errors"), "{stats}");
+    handle.shutdown();
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+
+    /// Every possible id renders to the fixed 21-character
+    /// `req-{8 hex}-{8 hex}` shape and parses back to itself.
+    #[test]
+    fn rendered_request_ids_keep_a_fixed_shape_and_round_trip(
+        boot in proptest::strategy::any::<u32>(),
+        seq in proptest::strategy::any::<u32>(),
+    ) {
+        let id = RequestId { boot, seq };
+        let text = id.to_string();
+        proptest::prop_assert_eq!(text.len(), 21, "{}", text);
+        proptest::prop_assert!(text.starts_with("req-"), "{}", text);
+        proptest::prop_assert!(
+            text.bytes().skip(4).all(|b| b == b'-'
+                || b.is_ascii_digit()
+                || (b'a'..=b'f').contains(&b)),
+            "{}", text
+        );
+        proptest::prop_assert_eq!(RequestId::parse(&text), Some(id));
+    }
+
+    /// The mint is sequential from 1 with one boot token per daemon:
+    /// ids are collision-free within a run regardless of the seed.
+    #[test]
+    fn the_mint_is_sequential_and_collision_free(
+        seed in proptest::collection::vec(proptest::strategy::any::<u8>(), 0..32usize),
+        n in 1usize..48,
+    ) {
+        let ids = RequestIds::new(&seed);
+        let minted: Vec<RequestId> = (0..n).map(|_| ids.mint()).collect();
+        for (i, id) in minted.iter().enumerate() {
+            proptest::prop_assert_eq!(id.seq as usize, i + 1);
+            proptest::prop_assert_eq!(id.boot, minted[0].boot);
+        }
+    }
+}
+
+#[test]
+fn malformed_request_ids_are_rejected() {
+    for bad in [
+        "",
+        "req-",
+        "req-00c0ffee",
+        "req-00c0ffee-0000001",
+        "req-00c0ffee-000000001",
+        "req-00C0FFEE-00000001", // upper-case hex is not canonical
+        "req-00c0ffee-00000001x",
+        "res-00c0ffee-00000001",
+        "req-00c0ffeg-00000001",
+    ] {
+        assert_eq!(RequestId::parse(bad), None, "{bad:?} must not parse");
+    }
+}
+
+#[test]
+fn request_ids_are_echoed_verbatim_and_unique_across_concurrent_clients() {
+    let (handle, client) = start(|_| {});
+    let spec = JobSpec::new(DriverKind::Table3, WorkloadKind::Small);
+
+    // The default (v1) client never sees an id.
+    let plain = client.submit(&spec).unwrap();
+    assert_eq!(plain.request_id, None, "v1 clients must not receive an id");
+
+    // Eight concurrent v2 clients each get a well-formed, distinct id
+    // and byte-identical bodies.
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            let client = Client::new(handle.addr().clone()).with_request_ids();
+            let spec = spec.clone();
+            thread::spawn(move || client.submit(&spec).unwrap())
+        })
+        .collect();
+    let mut ids = Vec::new();
+    for worker in workers {
+        let response = worker.join().unwrap();
+        assert_eq!(response.body, plain.body, "bodies are identical on both protocol paths");
+        let id = response.request_id.expect("v2 clients must receive an id");
+        ids.push(RequestId::parse(&id).unwrap_or_else(|| panic!("malformed id {id:?}")));
+    }
+    let boots: std::collections::BTreeSet<u32> = ids.iter().map(|id| id.boot).collect();
+    assert_eq!(boots.len(), 1, "one daemon run mints one boot token");
+    let seqs: std::collections::BTreeSet<u32> = ids.iter().map(|id| id.seq).collect();
+    assert_eq!(seqs.len(), ids.len(), "concurrent requests must get unique ids: {ids:?}");
+    handle.shutdown();
+}
+
+/// The compatibility pin for the protocol bump: a client that does not
+/// opt into request ids speaks version 1 and gets back the exact bytes
+/// every pre-v2 build produced — warm hits included.
+#[test]
+fn v1_clients_get_byte_identical_replies_after_the_protocol_bump() {
+    let (handle, client) = start(|_| {});
+    let spec = JobSpec::new(DriverKind::Table3, WorkloadKind::Small);
+    let cold = client.submit(&spec).unwrap();
+    assert!(!cold.hit);
+
+    // Raw v1 job request against the warm cache: the reply frame must
+    // be version 1 with no id block between header and body.
+    let Addr::Tcp(addr) = handle.addr().clone() else { panic!("raw tests use TCP") };
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&frame(1, 1, spec.to_json().as_bytes())).unwrap();
+    stream.flush().unwrap();
+    let mut header = [0u8; 10];
+    stream.read_exact(&mut header).unwrap();
+    assert_eq!(&header[..4], b"TRSV");
+    assert_eq!(header[4], 1, "a v1 request must get a v1 reply");
+    assert_eq!(header[5], 17, "the warm request must answer OkHit");
+    let len = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body).unwrap();
+    let body = String::from_utf8(body).unwrap();
+    let (content_type, artifact) = body.split_once('\n').unwrap();
+    assert_eq!(content_type, cold.content_type);
+    assert_eq!(artifact, cold.body, "v1 warm replies must be byte-identical to pre-v2 output");
     handle.shutdown();
 }
 
