@@ -37,6 +37,11 @@ cargo clippy -p triarch-dpu --all-targets -- -D warnings
 echo "== cargo clippy triarch-serve (deny unwrap/expect) =="
 cargo clippy -p triarch-serve --all-targets -- -D warnings
 
+# triarch-timeline carries crate-level #![warn(clippy::unwrap_used,
+# clippy::expect_used)]; -D warnings promotes them to errors.
+echo "== cargo clippy triarch-timeline (deny unwrap/expect) =="
+cargo clippy -p triarch-timeline --all-targets -- -D warnings
+
 echo "== cargo clippy serve_durability suite (deny warnings) =="
 cargo clippy -p triarch-bench --test serve_durability -- -D warnings
 
@@ -129,6 +134,35 @@ if ! cmp -s target/ci-report/report.html target/ci-report-again/report.html; the
   echo "report.html is not byte-identical across --jobs 2 and --jobs 1 runs" >&2
   exit 1
 fi
+
+echo "== timeline smoke (occupancy drift 0, byte-identity across --jobs) =="
+cargo run --release -q -p triarch-bench --bin repro -- \
+  timeline target/ci-timeline --small --jobs 2 --quiet > target/ci-timeline-stdout.txt
+td="$(grep -c "occupancy drift 0$" target/ci-timeline-stdout.txt || true)"
+if [ "$td" != "18" ]; then
+  echo "expected 18 cells with occupancy drift 0, saw $td" >&2
+  cat target/ci-timeline-stdout.txt >&2
+  exit 1
+fi
+cargo run --release -q -p triarch-bench --bin repro -- \
+  timeline target/ci-timeline-again --small --jobs 1 --quiet >/dev/null
+for f in timeline.json viram-corner-turn.timeline.csv viram-corner-turn.timeline.svg; do
+  test -s "target/ci-timeline/$f" || {
+    echo "timeline artifact $f was not written" >&2
+    exit 1
+  }
+  cmp -s "target/ci-timeline/$f" "target/ci-timeline-again/$f" || {
+    echo "timeline artifact $f is not byte-identical across --jobs 2 and --jobs 1" >&2
+    exit 1
+  }
+done
+wd="$(cargo run --release -q -p triarch-bench --bin repro -- \
+  profdiff --windows target/ci-timeline/timeline.json target/ci-timeline-again/timeline.json 2>/dev/null)"
+echo "$wd" | grep -q "profdiff --windows: no differences" || {
+  echo "windowed self-diff of the timeline artifact found differences" >&2
+  echo "$wd" >&2
+  exit 1
+}
 
 echo "== profdiff self-diff is empty on the committed artifact =="
 pd="$(cargo run --release -q -p triarch-bench --bin repro -- \
@@ -279,6 +313,14 @@ if cargo run --release -q -p triarch-bench --bin repro -- --jobs 0 table1 2>/dev
 fi
 if cargo run --release -q -p triarch-bench --bin repro -- --json table3 2>/dev/null; then
   echo "repro accepted --json without the bench selector" >&2
+  exit 1
+fi
+if cargo run --release -q -p triarch-bench --bin repro -- timeline --window 0 2>/dev/null; then
+  echo "repro accepted --window 0" >&2
+  exit 1
+fi
+if cargo run --release -q -p triarch-bench --bin repro -- --windows table1 2>/dev/null; then
+  echo "repro accepted --windows without the profdiff selector" >&2
   exit 1
 fi
 

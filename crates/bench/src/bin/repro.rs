@@ -7,7 +7,7 @@
 //!
 //! Accepted selectors: `table1 table2 table3 table4 figure8 figure9
 //! breakdowns altivec claims ablations trace faultsweep dse metrics
-//! bench flame report profdiff serve`.
+//! bench flame report timeline profdiff serve`.
 //!
 //! `trace [dir]` runs every machine × kernel pair with event tracing
 //! enabled and writes one Chrome `trace_event` JSON file and one CSV per
@@ -47,11 +47,24 @@
 //! runs and `--jobs` worker counts; host self-profiling goes to stderr
 //! only.
 //!
+//! `timeline [dir] [--window N]` runs the grid with a windowing trace
+//! sink attached and writes, per cell, a per-window occupancy CSV
+//! (`<arch>-<kernel>.timeline.csv`) and a deterministic utilization
+//! SVG (`.timeline.svg`), plus one combined schema-versioned
+//! `timeline.json` artifact, under `dir` (default `target/timeline`).
+//! Counted window sums reproduce each engine's cycle breakdown with
+//! occupancy drift exactly 0; every artifact is byte-identical across
+//! runs and `--jobs` counts. `--window N` sets the window size in
+//! cycles (default 1024).
+//!
 //! `profdiff <a.json> <b.json>` diffs two bench artifacts cell-by-cell
 //! and category-by-category: absolute + relative cycle deltas, the
 //! top regressed breakdown categories, and a one-line narrative per
 //! changed cell. Diffing an artifact against itself prints no
-//! differences.
+//! differences. `profdiff --windows <a.json> <b.json>` instead diffs
+//! two `timeline.json` artifacts window-by-window, localizing a
+//! regression in cycle time ("diverges from window 12, top mover:
+//! dram").
 //!
 //! `faultsweep [--seed S] [--campaigns N] [--small]` runs every machine ×
 //! kernel pair under `N` seeded fault-injection campaigns and prints the
@@ -111,9 +124,9 @@ use triarch_core::driver::{self, cell_slug};
 use triarch_core::experiments::Table3;
 use triarch_core::htmlreport::{self, FoldedCell};
 use triarch_core::roofline::Scorecard;
-use triarch_core::{ablations, dse, experiments, faultsweep};
+use triarch_core::{ablations, chart, dse, experiments, faultsweep, timelinedoc};
 use triarch_kernels::{Kernel, WorkloadSet};
-use triarch_profile::{flamegraph_svg, HostProf, ProfileDiff};
+use triarch_profile::{flamegraph_svg, HostProf, ProfileDiff, WindowDiff, WindowDoc};
 use triarch_simcore::metrics::MetricsReport;
 use triarch_simcore::trace::{export, AggregateSink, RingSink, TeeSink};
 
@@ -121,7 +134,7 @@ use triarch_simcore::trace::{export, AggregateSink, RingSink, TeeSink};
 const RING_CAPACITY: usize = 1 << 18;
 
 /// Every selector the CLI accepts (flags are parsed separately).
-const SELECTORS: [&str; 19] = [
+const SELECTORS: [&str; 20] = [
     "table1",
     "table2",
     "table3",
@@ -139,6 +152,7 @@ const SELECTORS: [&str; 19] = [
     "bench",
     "flame",
     "report",
+    "timeline",
     "profdiff",
     "serve",
 ];
@@ -155,12 +169,19 @@ struct Options {
     flame_dir: String,
     /// Output directory for `report`.
     report_dir: String,
+    /// Output directory for `timeline`.
+    timeline_dir: String,
+    /// Timeline window size in cycles (`--window`, timeline only).
+    window: u64,
     /// Output path for `bench --json`.
     bench_path: String,
     /// Whether `bench` writes the JSON artifact (`--json`).
     bench_json: bool,
     /// The two artifact paths for `profdiff`.
     profdiff: Option<(String, String)>,
+    /// Diff `timeline.json` artifacts window-by-window instead of
+    /// bench artifacts (`--windows`, profdiff only).
+    profdiff_windows: bool,
     /// Fault-sweep seed (`--seed`).
     seed: u64,
     /// Fault-sweep campaigns per machine × kernel pair (`--campaigns`).
@@ -203,9 +224,12 @@ impl Options {
             metrics_dir: String::from("target/metrics"),
             flame_dir: String::from("target/flame"),
             report_dir: String::from("target/report"),
+            timeline_dir: String::from("target/timeline"),
+            window: triarch_timeline::DEFAULT_WINDOW,
             bench_path: String::from("BENCH_table3.json"),
             bench_json: false,
             profdiff: None,
+            profdiff_windows: false,
             seed: triarch_bench::SEED,
             campaigns: 8,
             small: false,
@@ -300,6 +324,21 @@ impl Options {
                     opts.job_timeout_ms = parsed;
                     i += 2;
                 }
+                "--window" => {
+                    let value = args.get(i + 1).ok_or_else(|| format!("{arg} requires a value"))?;
+                    let parsed: u64 = value.parse().map_err(|_| {
+                        format!("{arg} requires a window size in cycles, got '{value}'")
+                    })?;
+                    if parsed == 0 {
+                        return Err(String::from("--window must be at least 1 cycle"));
+                    }
+                    opts.window = parsed;
+                    i += 2;
+                }
+                "--windows" => {
+                    opts.profdiff_windows = true;
+                    i += 1;
+                }
                 "--small" => {
                     opts.small = true;
                     i += 1;
@@ -309,25 +348,30 @@ impl Options {
                     i += 1;
                 }
                 "profdiff" => {
+                    let mut j = i + 1;
+                    if args.get(j).is_some_and(|s| s == "--windows") {
+                        opts.profdiff_windows = true;
+                        j += 1;
+                    }
                     let free =
                         |s: &&String| !s.starts_with("--") && !SELECTORS.contains(&s.as_str());
-                    let a = args.get(i + 1).filter(free);
-                    let b = args.get(i + 2).filter(free);
+                    let a = args.get(j).filter(free);
+                    let b = args.get(j + 1).filter(free);
                     match (a, b) {
                         (Some(a), Some(b)) => {
                             opts.profdiff = Some((a.clone(), b.clone()));
                             opts.selectors.push(String::from(arg));
-                            i += 3;
+                            i = j + 2;
                         }
                         _ => {
                             return Err(String::from(
-                                "profdiff requires two bench-artifact paths \
-                                 (profdiff <a.json> <b.json>)",
+                                "profdiff requires two artifact paths \
+                                 (profdiff [--windows] <a.json> <b.json>)",
                             ));
                         }
                     }
                 }
-                "trace" | "metrics" | "bench" | "flame" | "report" => {
+                "trace" | "metrics" | "bench" | "flame" | "report" | "timeline" => {
                     opts.selectors.push(String::from(arg));
                     // An optional output path may follow.
                     if let Some(next) = args.get(i + 1) {
@@ -337,6 +381,7 @@ impl Options {
                                 "metrics" => opts.metrics_dir.clone_from(next),
                                 "flame" => opts.flame_dir.clone_from(next),
                                 "report" => opts.report_dir.clone_from(next),
+                                "timeline" => opts.timeline_dir.clone_from(next),
                                 _ => opts.bench_path.clone_from(next),
                             }
                             i += 1;
@@ -363,6 +408,12 @@ impl Options {
         if opts.bench_json && !opts.explicit("bench") {
             return Err(String::from("--json requires the bench selector"));
         }
+        if opts.window != triarch_timeline::DEFAULT_WINDOW && !opts.explicit("timeline") {
+            return Err(String::from("--window requires the timeline selector"));
+        }
+        if opts.profdiff_windows && !opts.explicit("profdiff") {
+            return Err(String::from("--windows requires the profdiff selector"));
+        }
         if !opts.explicit("serve") {
             for (flag, given) in [
                 ("--addr", opts.serve_addr != "127.0.0.1:7444"),
@@ -384,7 +435,7 @@ impl Options {
     /// Whether `name` should run: explicitly selected, or (for exhibits
     /// that participate in the run-everything default) no selector given.
     fn want(&self, name: &str) -> bool {
-        const EXPLICIT_ONLY: [&str; 9] = [
+        const EXPLICIT_ONLY: [&str; 10] = [
             "trace",
             "faultsweep",
             "dse",
@@ -392,6 +443,7 @@ impl Options {
             "bench",
             "flame",
             "report",
+            "timeline",
             "profdiff",
             "serve",
         ];
@@ -424,6 +476,13 @@ fn read_artifact(path: &str) -> Result<BenchReport, String> {
     BenchReport::parse(&text).map_err(|e| format!("bench artifact '{path}': {e}"))
 }
 
+/// Reads and parses a timeline artifact, naming the path in any failure.
+fn read_timeline_artifact(path: &str) -> Result<WindowDoc, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read timeline artifact '{path}': {e}"))?;
+    timelinedoc::parse_timeline_doc(&text).map_err(|e| format!("timeline artifact '{path}': {e}"))
+}
+
 /// Runs the grid with a folding sink attached and reports pool stats.
 fn collect_folds(
     opts: &Options,
@@ -433,7 +492,8 @@ fn collect_folds(
     if !opts.quiet {
         eprintln!("{what} ({kind} workloads) ...");
     }
-    let (folds, stats) = htmlreport::collect_folds_jobs(&workloads, opts.jobs)?;
+    let (folds, stats) =
+        htmlreport::collect_folds_jobs_windowed(&workloads, opts.jobs, opts.window)?;
     if !opts.quiet {
         eprintln!("{}", stats.render());
     }
@@ -659,6 +719,48 @@ fn run_report(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Writes per-cell windowed-occupancy CSVs + SVGs and the combined
+/// schema-versioned `timeline.json` artifact under `timeline_dir`.
+fn run_timeline(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new(&opts.timeline_dir);
+    ensure_dir(dir)?;
+    let (folds, _, kind) = collect_folds(opts, "bucketing trace spans into cycle windows")?;
+    println!("== Utilization timelines ({}) ==", dir.display());
+    for cell in &folds {
+        let base = cell_slug(cell.arch, cell.kernel);
+        write_file(&dir.join(format!("{base}.timeline.csv")), &cell.timeline.render_csv())?;
+        write_file(
+            &dir.join(format!("{base}.timeline.svg")),
+            &chart::render_timeline_svg(&cell.label(), &cell.timeline),
+        )?;
+        println!(
+            "  {base}: {} cycles in {} windows of {}, occupancy drift {}",
+            cell.run.cycles.get(),
+            cell.timeline.windows(),
+            cell.timeline.window(),
+            cell.timeline_drift(),
+        );
+    }
+    write_file(&dir.join("timeline.json"), &timelinedoc::render_timeline_json(kind, &folds))?;
+    println!(
+        "  wrote {} per-cell CSV + SVG timelines + timeline.json (schema v{})",
+        folds.len(),
+        timelinedoc::TIMELINE_SCHEMA_VERSION,
+    );
+    println!();
+    Ok(())
+}
+
+/// Diffs two timeline artifacts window-by-window.
+fn run_profdiff_windows(a_path: &str, b_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let a = read_timeline_artifact(a_path)?;
+    let b = read_timeline_artifact(b_path)?;
+    let diff = WindowDiff::compute(&a, &b);
+    println!("== Differential timeline: {a_path} -> {b_path} ==");
+    println!("{}", diff.render());
+    Ok(())
+}
+
 /// Diffs two bench artifacts cell-by-cell and category-by-category.
 fn run_profdiff(a_path: &str, b_path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let a = read_artifact(a_path)?;
@@ -816,9 +918,18 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         run_report(opts)?;
     }
 
+    // `timeline [dir]` writes files too: explicit-only.
+    if opts.explicit("timeline") {
+        run_timeline(opts)?;
+    }
+
     // `profdiff` reads two artifacts the caller names explicitly.
     if let Some((a, b)) = &opts.profdiff {
-        run_profdiff(a, b)?;
+        if opts.profdiff_windows {
+            run_profdiff_windows(a, b)?;
+        } else {
+            run_profdiff(a, b)?;
+        }
     }
 
     // `bench` measures host wall time (and optionally writes the
@@ -901,7 +1012,8 @@ fn main() {
                  [faultsweep [--seed S] [--campaigns N] [--small]] [dse [--small]] \
                  [metrics [dir] [--small]] [bench [file] [--json] [--small]] \
                  [flame [dir] [--small]] [report [dir] [--small]] \
-                 [profdiff <a.json> <b.json>] \
+                 [timeline [dir] [--window N] [--small]] \
+                 [profdiff [--windows] <a.json> <b.json>] \
                  [serve [--addr A] [--workers N] [--queue N] [--cache-entries N] \
                  [--cache-dir DIR] [--job-timeout MS] [--access-log FILE]]"
             );

@@ -124,7 +124,7 @@ fn unwritable_output_paths_fail_fast_with_a_named_path() {
     let bad = squatter.join("sub");
     let bad = bad.to_str().unwrap();
 
-    for selector in ["report", "flame", "metrics", "trace"] {
+    for selector in ["report", "flame", "metrics", "trace", "timeline"] {
         let out = repro(&[selector, bad, "--small", "--jobs", "1"]);
         assert_eq!(out.status.code(), Some(1), "selector {selector}");
         let stderr = stderr_of(&out);
@@ -133,6 +133,87 @@ fn unwritable_output_paths_fail_fast_with_a_named_path() {
             "selector {selector}: {stderr}"
         );
     }
+}
+
+#[test]
+fn timeline_flags_are_validated_before_any_simulation() {
+    // A zero or non-numeric window is a usage error (exit 2) with the
+    // pinned one-line diagnostic, caught before any cell is simulated.
+    let out = repro(&["timeline", "--window", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("--window must be at least 1 cycle"), "{stderr}");
+    assert!(stderr.contains("usage: repro"), "{stderr}");
+
+    let out = repro(&["timeline", "--window", "12q"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("--window requires a window size in cycles, got '12q'"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    // Timeline-only and profdiff-only flags without their selector are
+    // usage errors too.
+    let out = repro(&["--window", "512", "table1"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("--window requires the timeline selector"));
+
+    let out = repro(&["--windows", "table1"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("--windows requires the profdiff selector"));
+}
+
+#[test]
+fn timeline_artifacts_diff_clean_against_themselves_and_localize_a_perturbation() {
+    let dir = tmp("timeline-diff");
+    let dir_str = dir.to_str().unwrap();
+    let out = repro(&["timeline", dir_str, "--window", "512", "--small", "--jobs", "2", "--quiet"]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert_eq!(
+        stdout.matches("occupancy drift 0").count(),
+        18,
+        "expected 18 drift-0 cells in:
+{stdout}"
+    );
+
+    let artifact = dir.join("timeline.json");
+    let artifact_str = artifact.to_str().unwrap();
+    let out = repro(&["profdiff", "--windows", artifact_str, artifact_str]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(
+        stdout_of(&out)
+            .contains("profdiff --windows: no differences (18 cells compared, window 512 cycles)"),
+        "{}",
+        stdout_of(&out)
+    );
+
+    // Perturb one window of one series: the diff names the cell, the
+    // first divergent window, and the moved category.
+    let text = fs::read_to_string(&artifact).unwrap();
+    let needle = "\"cycles\": [";
+    let at = text.find(needle).unwrap() + needle.len();
+    let end = text[at..].find([',', ']']).unwrap() + at;
+    let value: u64 = text[at..end].parse().unwrap();
+    let perturbed_text = format!("{}{}{}", &text[..at], value + 400, &text[end..]);
+    let perturbed = dir.join("perturbed.json");
+    fs::write(&perturbed, perturbed_text).unwrap();
+
+    let out = repro(&["profdiff", "--windows", artifact_str, perturbed.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert!(stdout.contains("1 of 18 matched cells diverge (window 512 cycles)"), "{stdout}");
+    assert!(stdout.contains("diverges from window 0 (cycle 0)"), "{stdout}");
+    assert!(stdout.contains("+400 cycles"), "{stdout}");
+}
+
+#[test]
+fn profdiff_windows_missing_artifact_exits_one_with_named_path() {
+    let out = repro(&["profdiff", "--windows", "no-such-a.json", "no-such-b.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("cannot read timeline artifact 'no-such-a.json'"), "{stderr}");
 }
 
 #[test]

@@ -23,8 +23,9 @@ use triarch_ppc::{Ppc, PpcConfig, Variant};
 use triarch_profile::{Fold, FoldSink};
 use triarch_raw::{Raw, RawConfig};
 use triarch_simcore::faults::FaultHook;
-use triarch_simcore::trace::{AggregateSink, TraceBreakdown};
+use triarch_simcore::trace::{AggregateSink, TeeSink, TraceBreakdown};
 use triarch_simcore::{KernelRun, SimError};
+use triarch_timeline::{Timeline, TimelineSink};
 use triarch_viram::{Viram, ViramConfig};
 
 /// The six machines of the study, in scorecard row order: the paper's
@@ -223,6 +224,31 @@ impl MachineSpec {
         Ok((run, sink.into_fold()))
     }
 
+    /// [`Self::run_cell`] with a [`FoldSink`] *and* a
+    /// [`TimelineSink`] tee'd on the same
+    /// span stream, returning the collapsed-stack profile and the
+    /// cycle-windowed occupancy timeline alongside the run.
+    ///
+    /// Both sinks observe identical events, so both conservation laws
+    /// hold at once: the fold's total and the timeline's per-category
+    /// window sums each reproduce the run's `CycleBreakdown` with drift
+    /// exactly 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction and simulation errors.
+    pub fn run_cell_folded_windowed(
+        &self,
+        kernel: Kernel,
+        workloads: &WorkloadSet,
+        window: u64,
+    ) -> Result<(KernelRun, Fold, Timeline), SimError> {
+        let mut machine = self.build()?;
+        let mut sink = TeeSink::new(FoldSink::new(), TimelineSink::new(window));
+        let run = machine.run_traced(kernel, workloads, &mut sink)?;
+        Ok((run, sink.a.into_fold(), sink.b.into_timeline()))
+    }
+
     /// [`Self::run_cell`] under a fault hook.
     ///
     /// # Errors
@@ -356,6 +382,21 @@ mod tests {
         // Per-category agreement with the engine's own ledger too.
         for (category, cycles) in run.breakdown.iter() {
             assert_eq!(cycles.get(), fold.category_total(category), "{category}");
+        }
+    }
+
+    #[test]
+    fn windowed_cell_agrees_with_fold_and_breakdown() {
+        let workloads = WorkloadSet::small(42).unwrap();
+        let (run, fold, timeline) = MachineSpec::Paper(Architecture::Dpu)
+            .run_cell_folded_windowed(Kernel::BeamSteering, &workloads, 256)
+            .unwrap();
+        assert_eq!(run.cycles.get(), fold.total());
+        assert_eq!(run.cycles.get(), timeline.total());
+        assert_eq!(timeline.window(), 256);
+        for (category, cycles) in run.breakdown.iter() {
+            let windowed = timeline.category_totals().get(category).copied().unwrap_or(0);
+            assert_eq!(cycles.get(), windowed, "{category}");
         }
     }
 

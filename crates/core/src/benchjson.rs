@@ -376,28 +376,28 @@ impl Json {
     }
 }
 
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+pub(crate) fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
     obj.iter()
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
         .ok_or_else(|| format!("missing field '{key}'"))
 }
 
-fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+pub(crate) fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
     match get(obj, key)? {
         Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
         _ => Err(format!("field '{key}' must be a non-negative integer")),
     }
 }
 
-fn get_f64(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+pub(crate) fn get_f64(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
     match get(obj, key)? {
         Json::Num(n) => Ok(*n),
         _ => Err(format!("field '{key}' must be a number")),
     }
 }
 
-fn get_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+pub(crate) fn get_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
     match get(obj, key)? {
         Json::Str(s) => Ok(s.clone()),
         _ => Err(format!("field '{key}' must be a string")),

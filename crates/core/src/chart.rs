@@ -17,6 +17,7 @@
 use std::fmt::Write as _;
 
 use triarch_profile::frame_color;
+use triarch_timeline::Timeline;
 
 /// One bar: a label and a positive value.
 #[derive(Debug, Clone, PartialEq)]
@@ -182,6 +183,183 @@ pub fn render_stacked_svg(title: &str, bars: &[StackedBar]) -> String {
     out
 }
 
+/// Maximum number of window columns in a timeline SVG; finer timelines
+/// are losslessly coarsened ([`Timeline::coarsen`]) to fit.
+const TIMELINE_MAX_COLUMNS: usize = 64;
+/// Height of one component lane in the timeline SVG.
+const LANE_H: f64 = 16.0;
+/// Vertical gap between lanes.
+const LANE_GAP: f64 = 4.0;
+/// Height of the busy/stall/idle occupancy strip.
+const STRIP_H: f64 = 22.0;
+/// Occupancy strip colors (busy, stall, idle).
+const OCC_BUSY: &str = "rgb(88,150,86)";
+const OCC_STALL: &str = "rgb(201,93,74)";
+const OCC_IDLE: &str = "rgb(225,225,225)";
+
+/// One SVG lane: `(track, counted, per-category window series)`.
+type TimelineLane<'a> = (&'static str, bool, Vec<(&'static str, &'a [u64])>);
+
+/// Renders a [`Timeline`] as a Gantt-style utilization SVG.
+///
+/// One lane per track (counted lanes first, then uncounted *detail*
+/// lanes at reduced opacity), one column per cycle window. Within a
+/// column, per-category segments stack left-to-right scaled by the
+/// window's cycle capacity, so unfilled column width is idle time.
+/// Below the lanes, a per-window occupancy strip stacks the
+/// busy/stall/idle split across every counted track. Category colors
+/// come from the deterministic FNV-1a palette
+/// ([`triarch_profile::frame_color`]) shared with the stacked bars and
+/// flamegraphs; all coordinates are fixed two-decimal, so the markup is
+/// byte-stable.
+#[must_use]
+pub fn render_timeline_svg(title: &str, timeline: &Timeline) -> String {
+    // Coarsen to at most TIMELINE_MAX_COLUMNS columns (lossless).
+    let fine = timeline.windows();
+    let factor = (fine as u64).div_ceil(TIMELINE_MAX_COLUMNS as u64).max(1);
+    let view = timeline.coarsen(factor);
+    let windows = view.windows();
+    let window = view.window();
+
+    // Group series by track: counted lanes first, then detail lanes.
+    let mut lanes: Vec<TimelineLane> = Vec::new();
+    for (counted, tracks) in [(true, view.counted_tracks()), (false, view.detail_tracks())] {
+        for track in tracks {
+            let series: Vec<(&'static str, &[u64])> = if counted {
+                view.counted_series()
+                    .filter(|&(t, _, _)| t == track)
+                    .map(|(_, category, s)| (category, s))
+                    .collect()
+            } else {
+                view.detail_series()
+                    .filter(|&(t, _, _)| t == track)
+                    .map(|(_, category, s)| (category, s))
+                    .collect()
+            };
+            lanes.push((track, counted, series));
+        }
+    }
+
+    let lanes_h = lanes.len() as f64 * (LANE_H + LANE_GAP);
+    let height = TITLE_H + lanes_h + STRIP_H + LANE_GAP + 16.0;
+    let width = GUTTER + PLOT_W + 10.0;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" \
+         height=\"{height:.0}\" viewBox=\"0 0 {width:.0} {height:.0}\">",
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"4\" y=\"17\" font-size=\"13\" font-family=\"monospace\" \
+         font-weight=\"bold\" fill=\"black\">{} — {windows} windows × {window} \
+         cycles</text>",
+        xml_escape(title),
+    );
+    if windows == 0 {
+        out.push_str("</svg>\n");
+        return out;
+    }
+    let col_w = PLOT_W / windows as f64;
+    for (row, (track, counted, series)) in lanes.iter().enumerate() {
+        let y = TITLE_H + row as f64 * (LANE_H + LANE_GAP);
+        let _ = writeln!(
+            out,
+            "<text x=\"4\" y=\"{ty:.2}\" font-size=\"11\" \
+             font-family=\"monospace\" fill=\"black\">{}{}</text>",
+            xml_escape(track),
+            if *counted { "" } else { " (detail)" },
+            ty = y + LANE_H - 5.0,
+        );
+        let _ = writeln!(
+            out,
+            "<rect x=\"{gx:.2}\" y=\"{y:.2}\" width=\"{pw:.2}\" height=\"{h:.2}\" \
+             fill=\"rgb(246,246,246)\"/>",
+            gx = GUTTER,
+            pw = PLOT_W,
+            h = LANE_H,
+        );
+        let opacity = if *counted { "" } else { " fill-opacity=\"0.55\"" };
+        for w in 0..windows {
+            let x0 = GUTTER + w as f64 * col_w;
+            let mut filled = 0.0f64;
+            for (category, s) in series {
+                let cycles = s.get(w).copied().unwrap_or(0);
+                if cycles == 0 {
+                    continue;
+                }
+                // Scale by the window's cycle capacity; clamp so a
+                // column never spills into its neighbour.
+                let seg = (col_w * cycles as f64 / window as f64).min(col_w - filled);
+                if seg <= 0.0 {
+                    continue;
+                }
+                let (r, g, b) = frame_color(category);
+                let _ = writeln!(
+                    out,
+                    "<g><title>w{w} {esc}: {cycles} cycles</title>\
+                     <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{sw:.2}\" \
+                     height=\"{h:.2}\" fill=\"rgb({r},{g},{b})\"{opacity}/></g>",
+                    esc = xml_escape(category),
+                    x = x0 + filled,
+                    sw = seg,
+                    h = LANE_H,
+                );
+                filled += seg;
+            }
+        }
+    }
+    // Busy/stall/idle occupancy strip across every counted track.
+    let sy = TITLE_H + lanes_h + LANE_GAP;
+    let _ = writeln!(
+        out,
+        "<text x=\"4\" y=\"{ty:.2}\" font-size=\"11\" font-family=\"monospace\" \
+         fill=\"black\">occupancy</text>",
+        ty = sy + STRIP_H - 7.0,
+    );
+    for (w, occ) in view.occupancy().iter().enumerate() {
+        let x0 = GUTTER + w as f64 * col_w;
+        if occ.span == 0 {
+            continue;
+        }
+        let mut yy = sy;
+        for (cycles, fill) in [(occ.busy, OCC_BUSY), (occ.stall, OCC_STALL), (occ.idle(), OCC_IDLE)]
+        {
+            if cycles == 0 {
+                continue;
+            }
+            let h = STRIP_H * cycles as f64 / occ.span as f64;
+            let _ = writeln!(
+                out,
+                "<g><title>w{w}: {cycles} of {span} cycles</title>\
+                 <rect x=\"{x0:.2}\" y=\"{yy:.2}\" width=\"{cw:.2}\" \
+                 height=\"{h:.2}\" fill=\"{fill}\"/></g>",
+                span = occ.span,
+                cw = col_w,
+            );
+            yy += h;
+        }
+    }
+    // Window axis: first window start, midpoint, and run end in cycles.
+    let ay = sy + STRIP_H + 12.0;
+    let mid = (windows as u64 / 2) * window;
+    let _ = writeln!(
+        out,
+        "<text x=\"{gx:.2}\" y=\"{ay:.2}\" font-size=\"10\" \
+         font-family=\"monospace\" fill=\"black\">cycle 0</text>\
+         <text x=\"{mx:.2}\" y=\"{ay:.2}\" font-size=\"10\" \
+         font-family=\"monospace\" fill=\"black\">{mid}</text>\
+         <text x=\"{ex:.2}\" y=\"{ay:.2}\" font-size=\"10\" \
+         font-family=\"monospace\" text-anchor=\"end\" fill=\"black\">{end}</text>",
+        gx = GUTTER,
+        mx = GUTTER + PLOT_W / 2.0,
+        ex = GUTTER + PLOT_W,
+        end = view.span_end(),
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
 /// A deterministic color legend for the categories used by
 /// [`render_stacked_svg`], as inline HTML chips.
 #[must_use]
@@ -300,6 +478,43 @@ mod tests {
         assert!(legend.contains(&format!("rgb({r},{g},{b})")));
         assert!(legend.contains("memory"));
         assert!(legend.contains("compute"));
+    }
+
+    #[test]
+    fn timeline_svg_renders_lanes_strip_and_axis() {
+        let mut t = Timeline::new(16);
+        t.add_span("mach.mem", "memory", 0, 30, true);
+        t.add_span("mach.vec", "compute", 40, 10, true);
+        t.add_span("mach.vec", "precharge", 50, 6, true);
+        t.add_span("mach.dram", "dram-burst", 0, 12, false);
+        let svg = render_timeline_svg("VIRAM / Corner Turn", &t);
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("VIRAM / Corner Turn — 4 windows × 16 cycles"), "{svg}");
+        assert!(svg.contains("mach.mem"));
+        assert!(svg.contains("mach.dram (detail)"));
+        assert!(svg.contains("fill-opacity=\"0.55\""));
+        assert!(svg.contains("occupancy"));
+        assert!(svg.contains(OCC_BUSY) && svg.contains(OCC_STALL) && svg.contains(OCC_IDLE));
+        assert!(svg.contains("cycle 0") && svg.contains(">56<"), "{svg}");
+        // Byte-stable across re-renders.
+        assert_eq!(svg, render_timeline_svg("VIRAM / Corner Turn", &t));
+    }
+
+    #[test]
+    fn timeline_svg_coarsens_to_the_column_cap() {
+        let mut t = Timeline::new(1);
+        t.add_span("m", "compute", 0, 1000, true);
+        let svg = render_timeline_svg("long", &t);
+        // 1000 one-cycle windows coarsen by ceil(1000/64)=16 to 63 columns.
+        assert!(svg.contains("63 windows × 16 cycles"), "{svg}");
+    }
+
+    #[test]
+    fn empty_timeline_renders_a_shell() {
+        let svg = render_timeline_svg("empty", &Timeline::new(8));
+        assert!(svg.contains("empty — 0 windows"));
+        assert!(!svg.contains("<rect"));
     }
 
     #[test]

@@ -23,9 +23,10 @@ use std::time::{Duration, Instant};
 use triarch_kernels::{Kernel, WorkloadSet};
 use triarch_profile::{flamegraph_svg, Fold};
 use triarch_simcore::{KernelRun, SimError};
+use triarch_timeline::{Timeline, DEFAULT_WINDOW};
 
 use crate::arch::{grid, Architecture, MachineSpec};
-use crate::chart::{render_legend_html, render_stacked_svg, StackedBar};
+use crate::chart::{render_legend_html, render_stacked_svg, render_timeline_svg, StackedBar};
 use crate::experiments::{self, Table3};
 use crate::faultsweep::SweepTable;
 use crate::paper;
@@ -45,6 +46,9 @@ pub struct FoldedCell {
     pub run: KernelRun,
     /// The collapsed-stack profile (total re-adds to `run.cycles`).
     pub fold: Fold,
+    /// The cycle-windowed occupancy timeline (window sums re-add to
+    /// `run.breakdown` per category).
+    pub timeline: Timeline,
     /// Host wall time spent simulating this cell (occupancy under
     /// `--jobs N`).
     pub wall: Duration,
@@ -56,6 +60,26 @@ impl FoldedCell {
     #[must_use]
     pub fn fold_drift(&self) -> u64 {
         self.fold.total().abs_diff(self.run.cycles.get())
+    }
+
+    /// Worst per-category disagreement between the windowed occupancy
+    /// sums and the engine's `CycleBreakdown`, including the total —
+    /// exactly 0 under the counted-span contract.
+    #[must_use]
+    pub fn timeline_drift(&self) -> u64 {
+        let totals = self.timeline.category_totals();
+        let mut drift = self.timeline.total().abs_diff(self.run.cycles.get());
+        let mut categories = 0usize;
+        for (category, cycles) in self.run.breakdown.iter() {
+            if cycles.get() == 0 {
+                continue;
+            }
+            categories += 1;
+            let windowed = totals.get(category).copied().unwrap_or(0);
+            drift = drift.max(windowed.abs_diff(cycles.get()));
+        }
+        // A windowed category the breakdown does not know is also drift.
+        drift.max(totals.len().abs_diff(categories) as u64)
     }
 
     /// The cell's `Arch / Kernel` display label.
@@ -78,10 +102,25 @@ pub fn collect_folds_jobs(
     workloads: &WorkloadSet,
     jobs: usize,
 ) -> Result<(Vec<FoldedCell>, PoolStats), SimError> {
-    run_jobs(jobs, grid(), |(arch, kernel)| {
+    collect_folds_jobs_windowed(workloads, jobs, DEFAULT_WINDOW)
+}
+
+/// [`collect_folds_jobs`] with an explicit timeline window size in
+/// cycles (`repro -- timeline --window N`).
+///
+/// # Errors
+///
+/// Propagates the first simulator error in cell order.
+pub fn collect_folds_jobs_windowed(
+    workloads: &WorkloadSet,
+    jobs: usize,
+    window: u64,
+) -> Result<(Vec<FoldedCell>, PoolStats), SimError> {
+    run_jobs(jobs, grid(), move |(arch, kernel)| {
         let t0 = Instant::now();
-        let (run, fold) = MachineSpec::Paper(arch).run_cell_folded(kernel, workloads)?;
-        Ok(FoldedCell { arch, kernel, run, fold, wall: t0.elapsed() })
+        let (run, fold, timeline) =
+            MachineSpec::Paper(arch).run_cell_folded_windowed(kernel, workloads, window)?;
+        Ok(FoldedCell { arch, kernel, run, fold, timeline, wall: t0.elapsed() })
     })
 }
 
@@ -119,8 +158,35 @@ fn pre(out: &mut String, text: &str) {
     let _ = writeln!(out, "<pre>{}</pre>", escape(text.trim_end()));
 }
 
-fn section(out: &mut String, title: &str) {
-    let _ = writeln!(out, "<h2>{}</h2>", escape(title));
+/// Section registry: `(anchor id, heading)` in document order — the
+/// single source of truth for both the table of contents and the
+/// `<h2>` headings, so an anchor can never dangle.
+const SECTIONS: [(&str, &str); 11] = [
+    ("table1", "Table 1: peak throughput (32-bit words per cycle)"),
+    ("table2", "Table 2: processor parameters"),
+    ("table3", "Table 3: experimental results (kilocycles)"),
+    ("table4", "Table 4: performance-model lower bounds (kilocycles)"),
+    ("fig8", "Figure 8: speedup over PPC+AltiVec (cycles)"),
+    ("fig9", "Figure 9: speedup over PPC+AltiVec (execution time)"),
+    ("breakdowns", "Section 4.2-4.4: cycle breakdowns"),
+    ("roofline", "Roofline utilization scorecard"),
+    ("faultsweep", "Fault-injection sweep"),
+    ("timelines", "Utilization timelines"),
+    ("flamegraphs", "Per-cell flamegraphs"),
+];
+
+fn section(out: &mut String, id: &str) {
+    let title = SECTIONS.iter().find(|(i, _)| *i == id).map_or(id, |(_, t)| *t);
+    let _ = writeln!(out, "<h2 id=\"{id}\">{}</h2>", escape(title));
+}
+
+/// The anchored table of contents (plain deterministic HTML, no JS).
+fn toc(out: &mut String) {
+    out.push_str("<nav>\n<ol>\n");
+    for (id, title) in SECTIONS {
+        let _ = writeln!(out, "<li><a href=\"#{id}\">{}</a></li>", escape(title));
+    }
+    out.push_str("</ol>\n</nav>\n");
 }
 
 /// Renders the full report as one self-contained HTML document.
@@ -159,14 +225,15 @@ pub fn render(inputs: &ReportInputs<'_>) -> Result<String, SimError> {
          informational only and deliberately excluded; see stderr and \
          <code>metrics.prom</code>.</p>\n",
     );
+    toc(&mut out);
 
-    section(&mut out, "Table 1: peak throughput (32-bit words per cycle)");
+    section(&mut out, "table1");
     pre(&mut out, &experiments::table1().to_string());
 
-    section(&mut out, "Table 2: processor parameters");
+    section(&mut out, "table2");
     pre(&mut out, &experiments::table2().to_string());
 
-    section(&mut out, "Table 3: experimental results (kilocycles)");
+    section(&mut out, "table3");
     pre(&mut out, &inputs.table3.render());
     out.push_str("<h3>vs published results</h3>\n");
     pre(&mut out, &inputs.table3.render_vs_paper());
@@ -187,18 +254,18 @@ pub fn render(inputs: &ReportInputs<'_>) -> Result<String, SimError> {
         hi = paper::BAND_HI,
     );
 
-    section(&mut out, "Table 4: performance-model lower bounds (kilocycles)");
+    section(&mut out, "table4");
     pre(&mut out, &experiments::table4(inputs.workloads)?.to_string());
 
-    section(&mut out, "Figure 8: speedup over PPC+AltiVec (cycles)");
+    section(&mut out, "fig8");
     let fig8 = experiments::figure8(inputs.table3);
     pre(&mut out, &format!("{}\n{}", fig8.render(), fig8.render_chart(50)));
 
-    section(&mut out, "Figure 9: speedup over PPC+AltiVec (execution time)");
+    section(&mut out, "fig9");
     let fig9 = experiments::figure9(inputs.table3);
     pre(&mut out, &format!("{}\n{}", fig9.render(), fig9.render_chart(50)));
 
-    section(&mut out, "Section 4.2-4.4: cycle breakdowns");
+    section(&mut out, "breakdowns");
     out.push_str(
         "<p>Normalized stacked bars, one per cell; segment widths are each \
          category's share of the cell's total cycles (the paper's per-machine \
@@ -221,10 +288,10 @@ pub fn render(inputs: &ReportInputs<'_>) -> Result<String, SimError> {
     out.push_str(&render_legend_html(&category_refs));
     out.push_str(&render_stacked_svg("Cycle breakdowns (share of total)", &bars));
 
-    section(&mut out, "Roofline utilization scorecard");
+    section(&mut out, "roofline");
     pre(&mut out, &inputs.scorecard.render());
 
-    section(&mut out, "Fault-injection sweep");
+    section(&mut out, "faultsweep");
     let _ = writeln!(
         out,
         "<p>Seeded deterministic campaigns (seed {}, {} campaigns per cell).</p>",
@@ -232,7 +299,32 @@ pub fn render(inputs: &ReportInputs<'_>) -> Result<String, SimError> {
     );
     pre(&mut out, &inputs.sweep.render());
 
-    section(&mut out, "Per-cell flamegraphs");
+    section(&mut out, "timelines");
+    let window = inputs.folds.first().map_or(DEFAULT_WINDOW, |c| c.timeline.window());
+    let max_tl_drift = inputs.folds.iter().map(FoldedCell::timeline_drift).max().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "<p>Cycle-windowed occupancy ({window}-cycle windows): one lane per \
+         engine component (uncounted DRAM detail lanes at reduced opacity), \
+         plus a busy/stall/idle strip per window. Window sums reproduce each \
+         cell's cycle breakdown with max drift <strong>{max_tl_drift}</strong> \
+         across {} cells; lane colors match the breakdown bars and \
+         flamegraphs.</p>",
+        inputs.folds.len(),
+    );
+    for cell in inputs.folds {
+        let _ = writeln!(
+            out,
+            "<details open><summary>{} &mdash; {} windows, occupancy drift {}</summary>",
+            escape(&cell.label()),
+            cell.timeline.windows(),
+            cell.timeline_drift(),
+        );
+        out.push_str(&render_timeline_svg(&cell.label(), &cell.timeline));
+        out.push_str("</details>\n");
+    }
+
+    section(&mut out, "flamegraphs");
     let max_drift = inputs.folds.iter().map(FoldedCell::fold_drift).max().unwrap_or(0);
     let _ = writeln!(
         out,
@@ -303,16 +395,23 @@ mod tests {
             "cycle breakdowns",
             "Roofline utilization scorecard",
             "Fault-injection sweep",
+            "Utilization timelines",
             "Per-cell flamegraphs",
         ] {
             assert!(html.contains(needle), "missing section {needle}");
         }
         // Deterministic: a second render is byte-identical.
         assert_eq!(html, render(&inputs).unwrap());
-        // Self-contained: no external references.
+        // Self-contained: no external references — the only hrefs are
+        // the table of contents' fragment anchors.
         assert!(!html.contains("http-equiv"));
         assert!(!html.contains("src="));
-        assert!(!html.contains("href"));
+        assert!(!html.replace("href=\"#", "").contains("href"));
+        // Every TOC anchor resolves to a heading id, and vice versa.
+        for (id, _) in SECTIONS {
+            assert!(html.contains(&format!("href=\"#{id}\"")), "toc link {id}");
+            assert!(html.contains(&format!("<h2 id=\"{id}\"")), "heading {id}");
+        }
     }
 
     #[test]
@@ -322,6 +421,8 @@ mod tests {
         assert_eq!(folds.len(), 18);
         for cell in &folds {
             assert_eq!(cell.fold_drift(), 0, "{}", cell.label());
+            assert_eq!(cell.timeline_drift(), 0, "{}", cell.label());
+            assert_eq!(cell.timeline.window(), DEFAULT_WINDOW);
         }
     }
 }

@@ -49,6 +49,7 @@ pub mod paper;
 pub mod parallel;
 pub mod report;
 pub mod roofline;
+pub mod timelinedoc;
 pub mod tracecheck;
 
 pub use arch::Architecture;

@@ -15,7 +15,7 @@ use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults, TransferFaults};
 use triarch_simcore::metrics::{Histogram, Metric, MetricsReport};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
-    CycleBreakdown, CycleBudget, Cycles, KernelRun, SimError, Verification, WordMemory,
+    CycleBudget, CycleLedger, Cycles, KernelRun, SimError, Verification, WordMemory,
 };
 
 use crate::config::DpuConfig;
@@ -68,7 +68,7 @@ pub struct DpuMachine<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     wram_peak: usize,
     /// Fixed-bucket histogram of per-transfer host↔MRAM cycles.
     host_hist: Histogram,
-    breakdown: CycleBreakdown,
+    ledger: CycleLedger,
     phase: Option<PhaseAcc>,
     /// Parallel work hidden under the per-phase makespan.
     hidden: Cycles,
@@ -123,7 +123,7 @@ impl<S: TraceSink, F: FaultHook> DpuMachine<S, F> {
             wram_next: 0,
             wram_peak: 0,
             host_hist: Histogram::cycles(),
-            breakdown: CycleBreakdown::new(),
+            ledger: CycleLedger::new(),
             phase: None,
             hidden: Cycles::ZERO,
             ops: 0,
@@ -219,10 +219,10 @@ impl<S: TraceSink, F: FaultHook> DpuMachine<S, F> {
         }
         self.spent += cycles.get();
         if self.sink.is_enabled() {
-            let at = self.breakdown.total().get();
+            let at = self.ledger.total().get();
             self.sink.span(track, category, name, at, cycles.get());
         }
-        self.breakdown.charge(category, cycles);
+        self.ledger.charge(category, cycles);
     }
 
     /// Cycles for one host↔MRAM bulk transfer of `len` words.
@@ -330,7 +330,7 @@ impl<S: TraceSink, F: FaultHook> DpuMachine<S, F> {
         self.launches += 1;
         self.charge(TRACK_HOST, "launch", "tasklet-boot", Cycles::new(self.cfg.launch_cycles));
         if self.sink.is_enabled() {
-            self.sink.instant(TRACK_PIPELINE, "phase-begin", self.breakdown.total().get());
+            self.sink.instant(TRACK_PIPELINE, "phase-begin", self.ledger.total().get());
         }
         self.phase = Some(PhaseAcc {
             dma: vec![0; self.cfg.dpus()],
@@ -466,7 +466,7 @@ impl<S: TraceSink, F: FaultHook> DpuMachine<S, F> {
         self.charge(TRACK_DMA, "mram_dma", "wram-mram-dma", Cycles::new(dma_max));
         self.charge(TRACK_PIPELINE, "tasklet", "revolving-pipeline", Cycles::new(pipe_max));
         if self.sink.is_enabled() {
-            self.sink.instant(TRACK_PIPELINE, "phase-end", self.breakdown.total().get());
+            self.sink.instant(TRACK_PIPELINE, "phase-end", self.ledger.total().get());
         }
         let hidden = (dma_sum - dma_max) + (pipe_sum - pipe_max);
         self.spent += hidden;
@@ -488,7 +488,7 @@ impl<S: TraceSink, F: FaultHook> DpuMachine<S, F> {
     /// Total cycles charged so far.
     #[must_use]
     pub fn cycles(&self) -> Cycles {
-        self.breakdown.total()
+        self.ledger.total()
     }
 
     /// Parallel DPU cycles hidden under the phase makespans.
@@ -506,9 +506,10 @@ impl<S: TraceSink, F: FaultHook> DpuMachine<S, F> {
         if self.phase.is_some() {
             return Err(SimError::unsupported("finish with open DPU phase"));
         }
-        let total = self.breakdown.total();
+        let breakdown = self.ledger.into_breakdown();
+        let total = breakdown.total();
         let mut metrics = MetricsReport::new();
-        self.breakdown.export_metrics(&mut metrics, "dpu.cycles");
+        breakdown.export_metrics(&mut metrics, "dpu.cycles");
         self.budget.export_metrics(&mut metrics, "dpu.budget", self.spent);
         metrics.ratio("dpu.wram.occupancy", self.wram_peak as u64, self.cfg.wram_words as u64);
         metrics.counter("dpu.wram.peak_words", self.wram_peak as u64);
@@ -522,7 +523,7 @@ impl<S: TraceSink, F: FaultHook> DpuMachine<S, F> {
         metrics.set("dpu.host.xfer_cycles", Metric::Histogram(self.host_hist));
         Ok(KernelRun {
             cycles: total,
-            breakdown: self.breakdown,
+            breakdown,
             ops_executed: self.ops,
             mem_words: self.mem_words,
             verification,
@@ -566,7 +567,7 @@ mod tests {
         m.host_pull(3, 100, 500, 4).unwrap();
         assert_eq!(m.host().read_block_u32(500, 4).unwrap(), vec![1, 2, 3, 4]);
         assert!(m.cycles() > Cycles::ZERO);
-        assert_eq!(m.breakdown.get("host_xfer").get(), 2 * (64 + 1));
+        assert_eq!(m.ledger.get("host_xfer").get(), 2 * (64 + 1));
     }
 
     #[test]
@@ -578,9 +579,9 @@ mod tests {
         let r = m.wram_alloc(8).unwrap();
         m.dma_read(0, 0, r, 8).unwrap();
         m.dma_write(0, r, 64, 8).unwrap();
-        assert_eq!(m.breakdown.get("mram_dma"), Cycles::ZERO, "charged only at sync");
+        assert_eq!(m.ledger.get("mram_dma"), Cycles::ZERO, "charged only at sync");
         m.sync().unwrap();
-        assert_eq!(m.breakdown.get("mram_dma").get(), 2 * (32 + 8));
+        assert_eq!(m.ledger.get("mram_dma").get(), 2 * (32 + 8));
         m.host_pull(0, 64, 100, 8).unwrap();
         assert_eq!(m.host().read_block_u32(100, 8).unwrap(), vec![9; 8]);
     }
@@ -592,7 +593,7 @@ mod tests {
         m.launch().unwrap();
         m.exec(0, 1100, 0).unwrap();
         m.sync().unwrap();
-        assert_eq!(m.breakdown.get("tasklet").get(), 1100);
+        assert_eq!(m.ledger.get("tasklet").get(), 1100);
         // 2 tasklets leave 9 of 11 slots revolving empty.
         let mut cfg = DpuConfig::paper();
         cfg.tasklets = 2;
@@ -600,7 +601,7 @@ mod tests {
         m.launch().unwrap();
         m.exec(0, 1100, 0).unwrap();
         m.sync().unwrap();
-        assert_eq!(m.breakdown.get("tasklet").get(), 1100 * 11 / 2);
+        assert_eq!(m.ledger.get("tasklet").get(), 1100 * 11 / 2);
     }
 
     #[test]
@@ -610,7 +611,7 @@ mod tests {
         m.exec(0, 100, 0).unwrap();
         m.exec(1, 300, 0).unwrap();
         m.sync().unwrap();
-        assert_eq!(m.breakdown.get("tasklet").get(), 300);
+        assert_eq!(m.ledger.get("tasklet").get(), 300);
         assert_eq!(m.hidden_cycles().get(), 100);
     }
 

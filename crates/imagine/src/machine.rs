@@ -4,8 +4,8 @@ use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults, TransferFaults};
 use triarch_simcore::metrics::{Histogram, Metric, MetricsReport};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
-    AccessPattern, CycleBreakdown, CycleBudget, Cycles, DramModel, KernelRun, SimError,
-    Verification, WordMemory,
+    AccessPattern, CycleBudget, CycleLedger, Cycles, DramModel, KernelRun, SimError, Verification,
+    WordMemory,
 };
 
 use crate::config::ImagineConfig;
@@ -59,32 +59,14 @@ pub struct SrfRange {
     pub len: usize,
 }
 
-/// Per-category cycle totals for one side of an overlap region, keeping
-/// totals with `&'static str` keys so the winner can be replayed as counted
-/// trace spans at [`ImagineMachine::end_overlap`].
-#[derive(Debug, Default, Clone)]
-struct SideAcc {
-    entries: Vec<(&'static str, Cycles)>,
-}
-
-impl SideAcc {
-    fn charge(&mut self, category: &'static str, cycles: Cycles) {
-        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| *k == category) {
-            entry.1 += cycles;
-        } else {
-            self.entries.push((category, cycles));
-        }
-    }
-
-    fn total(&self) -> Cycles {
-        self.entries.iter().map(|(_, c)| *c).sum()
-    }
-}
-
 #[derive(Debug, Default, Clone)]
 struct OverlapAcc {
-    mem: SideAcc,
-    kernel: SideAcc,
+    /// Per-category totals for each side of the region: [`CycleLedger`]s
+    /// keep `&'static str` keys in first-charge order so the winner can
+    /// be replayed as counted trace spans at
+    /// [`ImagineMachine::end_overlap`].
+    mem: CycleLedger,
+    kernel: CycleLedger,
     /// Cycle cursor (== charged total) when the region opened.
     start: u64,
 }
@@ -106,7 +88,7 @@ pub struct ImagineMachine<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     srf_peak: usize,
     /// Fixed-bucket histogram of per-stream DRAM occupancy cycles.
     mem_hist: Histogram,
-    breakdown: CycleBreakdown,
+    ledger: CycleLedger,
     hidden: Cycles,
     ops: u64,
     mem_words: u64,
@@ -156,7 +138,7 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
             srf_next: 0,
             srf_peak: 0,
             mem_hist: Histogram::cycles(),
-            breakdown: CycleBreakdown::new(),
+            ledger: CycleLedger::new(),
             hidden: Cycles::ZERO,
             ops: 0,
             mem_words: 0,
@@ -256,10 +238,10 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
             }
             None => {
                 if self.sink.is_enabled() {
-                    let at = self.breakdown.total().get();
+                    let at = self.ledger.total().get();
                     self.sink.span(track, category, name, at, cycles.get());
                 }
-                self.breakdown.charge(category, cycles);
+                self.ledger.charge(category, cycles);
             }
         }
     }
@@ -268,7 +250,7 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
     fn mem_cursor(&self) -> u64 {
         match &self.overlap {
             Some(acc) => acc.start + acc.mem.total().get(),
-            None => self.breakdown.total().get(),
+            None => self.ledger.total().get(),
         }
     }
 
@@ -281,7 +263,7 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
         if self.overlap.is_some() {
             return Err(SimError::unsupported("nested overlap regions"));
         }
-        let start = self.breakdown.total().get();
+        let start = self.ledger.total().get();
         if self.sink.is_enabled() {
             self.sink.instant(TRACK_CLUSTER, "overlap-begin", start);
         }
@@ -318,7 +300,7 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
         let visible = loser_total.scale(self.cfg.descriptor_penalty);
         if self.sink.is_enabled() {
             let mut t = acc.start;
-            for &(category, cycles) in &winner.entries {
+            for (category, cycles) in winner.iter() {
                 self.sink.span(winner_track, category, "overlap-charged", t, cycles.get());
                 t += cycles.get();
             }
@@ -331,10 +313,10 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
             );
             self.sink.instant(TRACK_CLUSTER, "overlap-end", t + visible.get());
         }
-        for &(category, cycles) in &winner.entries {
-            self.breakdown.charge(category, cycles);
+        for (category, cycles) in winner.iter() {
+            self.ledger.charge(category, cycles);
         }
-        self.breakdown.charge("unoverlapped", visible);
+        self.ledger.charge("unoverlapped", visible);
         self.spent += visible.get();
         self.hidden += loser_total.saturating_sub(visible);
         self.budget.check(self.spent)
@@ -497,7 +479,7 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
     /// Total cycles charged so far.
     #[must_use]
     pub fn cycles(&self) -> Cycles {
-        self.breakdown.total()
+        self.ledger.total()
     }
 
     /// Cycles hidden by stream/kernel overlap.
@@ -515,9 +497,10 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
         if self.overlap.is_some() {
             return Err(SimError::unsupported("finish with open overlap region"));
         }
-        let total = self.breakdown.total();
+        let breakdown = self.ledger.into_breakdown();
+        let total = breakdown.total();
         let mut metrics = MetricsReport::new();
-        self.breakdown.export_metrics(&mut metrics, "imagine.cycles");
+        breakdown.export_metrics(&mut metrics, "imagine.cycles");
         self.dram.export_metrics(&mut metrics, "imagine.dram");
         self.budget.export_metrics(&mut metrics, "imagine.budget", self.spent);
         metrics.ratio("imagine.srf.occupancy", self.srf_peak as u64, self.cfg.srf_words as u64);
@@ -530,7 +513,7 @@ impl<S: TraceSink, F: FaultHook> ImagineMachine<S, F> {
         metrics.set("imagine.mem.xfer_cycles", Metric::Histogram(self.mem_hist));
         Ok(KernelRun {
             cycles: total,
-            breakdown: self.breakdown,
+            breakdown,
             ops_executed: self.ops,
             mem_words: self.mem_words,
             verification,
@@ -609,7 +592,7 @@ mod tests {
 
     impl ImagineMachine {
         fn breakdown_get(&self, cat: &str) -> u64 {
-            self.breakdown.get(cat).get()
+            self.ledger.get(cat).get()
         }
     }
 

@@ -4,7 +4,7 @@
 use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults};
 use triarch_simcore::metrics::MetricsReport;
 use triarch_simcore::trace::{NullSink, TraceSink};
-use triarch_simcore::{CycleBreakdown, Cycles, KernelRun, SimError, Verification};
+use triarch_simcore::{CycleLedger, Cycles, KernelRun, SimError, Verification};
 
 use crate::cache::Hierarchy;
 use crate::config::PpcConfig;
@@ -272,15 +272,16 @@ impl<S: TraceSink, F: FaultHook> PpcMachine<S, F> {
             ("ecc", "ecc-correct-stall", self.ecc_stall),
             ("retry", "dram-retry-stall", self.retry_stall),
         ];
-        let mut breakdown = CycleBreakdown::new();
+        let mut ledger = CycleLedger::new();
         let mut t = 0u64;
         for &(category, name, cycles) in &entries {
             if self.sink.is_enabled() && cycles > 0 {
                 self.sink.span(TRACK_CORE, category, name, t, cycles);
             }
             t += cycles;
-            breakdown.charge(category, Cycles::new(cycles));
+            ledger.charge(category, Cycles::new(cycles));
         }
+        let breakdown = ledger.into_breakdown();
         let total = breakdown.total();
         let mut metrics = MetricsReport::new();
         breakdown.export_metrics(&mut metrics, "ppc.cycles");

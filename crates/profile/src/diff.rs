@@ -247,11 +247,11 @@ fn describe_delta(a: u64, b: u64) -> String {
 }
 
 /// Thousands-separated rendering of a cycle count.
-fn fmt_sep(v: u64) -> String {
+pub(crate) fn fmt_sep(v: u64) -> String {
     fmt_sep_u128(u128::from(v))
 }
 
-fn fmt_sep_u128(v: u128) -> String {
+pub(crate) fn fmt_sep_u128(v: u128) -> String {
     let digits = v.to_string();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     let first = digits.len() % 3;

@@ -47,9 +47,11 @@ pub mod flame;
 pub mod fold;
 pub mod hash;
 pub mod hostprof;
+pub mod windowdiff;
 
 pub use diff::{CategoryDelta, CellDelta, CellProfile, ProfileDiff};
 pub use flame::{flamegraph_svg, frame_color};
 pub use fold::{is_fold_safe, sanitize_frame, Fold, FoldSink};
 pub use hash::fnv1a64;
 pub use hostprof::{metric_slug, HostProf};
+pub use windowdiff::{WindowDiff, WindowDoc, WindowProfile, WindowSeries};

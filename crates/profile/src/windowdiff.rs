@@ -1,0 +1,377 @@
+//! Differential profiling in *cycle time*: locate where two runs
+//! diverge, not just which categories moved.
+//!
+//! [`crate::diff`] compares aggregate per-cell profiles; this module
+//! compares cycle-windowed occupancy documents (produced by
+//! `repro -- timeline`) window by window, so a perfgate investigation
+//! can say "the DRAM port saturates from window 12" instead of
+//! "dram +4%". The inputs are plain owned data — the JSON artifact
+//! parsing lives with the artifact writer in `triarch-core`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::diff::fmt_sep_u128;
+
+/// One `(track, category)` per-window cycle series from a timeline
+/// artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSeries {
+    /// Execution track, e.g. `"viram.mem"`.
+    pub track: String,
+    /// Breakdown category the series charges.
+    pub category: String,
+    /// Whether the series participates in the cycle partition
+    /// (uncounted detail series are ignored by the diff).
+    pub counted: bool,
+    /// Cycles charged per window.
+    pub cycles: Vec<u64>,
+}
+
+/// One cell (machine × kernel) of a timeline artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowProfile {
+    /// `"<arch>/<kernel>"`.
+    pub label: String,
+    /// The run's total cycles.
+    pub cycles: u64,
+    /// Every per-window series of the cell.
+    pub series: Vec<WindowSeries>,
+}
+
+impl WindowProfile {
+    /// Per-window, per-category counted totals summed across tracks:
+    /// `category → series over windows`.
+    #[must_use]
+    pub fn category_series(&self) -> BTreeMap<&str, Vec<u64>> {
+        let mut out: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+        for series in self.series.iter().filter(|s| s.counted) {
+            let sum = out.entry(series.category.as_str()).or_default();
+            if sum.len() < series.cycles.len() {
+                sum.resize(series.cycles.len(), 0);
+            }
+            for (slot, add) in sum.iter_mut().zip(&series.cycles) {
+                *slot += add;
+            }
+        }
+        out
+    }
+}
+
+/// A parsed timeline artifact: window size plus one profile per cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowDoc {
+    /// Window size in cycles.
+    pub window: u64,
+    /// Workload set kind the artifact was generated from.
+    pub workload: String,
+    /// Per-cell windowed profiles.
+    pub cells: Vec<WindowProfile>,
+}
+
+/// Where one cell's two runs diverge in cycle time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowCellDelta {
+    /// `"<arch>/<kernel>"`.
+    pub label: String,
+    /// First window index where any category's cycles differ.
+    pub first_window: usize,
+    /// Number of windows in which at least one category differs.
+    pub windows_changed: usize,
+    /// Windows compared (the longer of the two runs).
+    pub windows_total: usize,
+    /// Category with the largest absolute total movement.
+    pub top_category: String,
+    /// Net movement of `top_category` (fresh − baseline).
+    pub top_delta: i128,
+    /// Window where `top_category` moves the most.
+    pub top_window: usize,
+}
+
+impl WindowCellDelta {
+    /// One-line story: where the divergence starts and what drives it.
+    #[must_use]
+    pub fn narrative(&self, window: u64) -> String {
+        let sign = if self.top_delta >= 0 { "+" } else { "-" };
+        format!(
+            "{}: diverges from window {} (cycle {}); {} of {} windows differ; \
+             top mover: {} {sign}{} cycles, peaking in window {}",
+            self.label,
+            self.first_window,
+            (self.first_window as u64).saturating_mul(window),
+            self.windows_changed,
+            self.windows_total,
+            self.top_category,
+            fmt_sep_u128(self.top_delta.unsigned_abs()),
+            self.top_window,
+        )
+    }
+}
+
+/// A windowed comparison of two timeline artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowDiff {
+    /// Window size shared by both inputs (the baseline's when they
+    /// disagree — see [`WindowDiff::window_mismatch`]).
+    pub window: u64,
+    /// Set when the two artifacts use different window sizes; no
+    /// per-window comparison is possible.
+    pub window_mismatch: Option<(u64, u64)>,
+    /// Matched cells compared.
+    pub matched: usize,
+    /// Cells that diverge, in label order.
+    pub cells: Vec<WindowCellDelta>,
+    /// Cell labels only present in the baseline.
+    pub only_in_baseline: Vec<String>,
+    /// Cell labels only present in the fresh run.
+    pub only_in_fresh: Vec<String>,
+}
+
+impl WindowDiff {
+    /// Compares two parsed timeline artifacts cell by cell, window by
+    /// window (counted series only).
+    #[must_use]
+    pub fn compute(baseline: &WindowDoc, fresh: &WindowDoc) -> WindowDiff {
+        if baseline.window != fresh.window {
+            return WindowDiff {
+                window: baseline.window,
+                window_mismatch: Some((baseline.window, fresh.window)),
+                matched: 0,
+                cells: Vec::new(),
+                only_in_baseline: Vec::new(),
+                only_in_fresh: Vec::new(),
+            };
+        }
+        let a: BTreeMap<&str, &WindowProfile> =
+            baseline.cells.iter().map(|c| (c.label.as_str(), c)).collect();
+        let b: BTreeMap<&str, &WindowProfile> =
+            fresh.cells.iter().map(|c| (c.label.as_str(), c)).collect();
+        let only_in_baseline =
+            a.keys().filter(|k| !b.contains_key(**k)).map(|k| (*k).to_string()).collect();
+        let only_in_fresh =
+            b.keys().filter(|k| !a.contains_key(**k)).map(|k| (*k).to_string()).collect();
+        let mut matched = 0;
+        let mut cells = Vec::new();
+        for (label, cell_a) in &a {
+            let Some(cell_b) = b.get(label) else { continue };
+            matched += 1;
+            if let Some(delta) = diff_cell(label, cell_a, cell_b) {
+                cells.push(delta);
+            }
+        }
+        WindowDiff {
+            window: baseline.window,
+            window_mismatch: None,
+            matched,
+            cells,
+            only_in_baseline,
+            only_in_fresh,
+        }
+    }
+
+    /// Whether the two artifacts are windowed-identical.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.window_mismatch.is_none()
+            && self.cells.is_empty()
+            && self.only_in_baseline.is_empty()
+            && self.only_in_fresh.is_empty()
+    }
+
+    /// Renders the human-readable comparison.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some((a, b)) = self.window_mismatch {
+            let _ = writeln!(
+                out,
+                "profdiff --windows: window sizes differ ({a} vs {b} cycles); \
+                 regenerate both artifacts with the same --window to compare"
+            );
+            return out;
+        }
+        if self.is_empty() {
+            let _ = writeln!(
+                out,
+                "profdiff --windows: no differences ({} cells compared, window {} cycles)",
+                self.matched, self.window
+            );
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "profdiff --windows: {} of {} matched cells diverge (window {} cycles)",
+            self.cells.len(),
+            self.matched,
+            self.window
+        );
+        for cell in &self.cells {
+            let _ = writeln!(out, "  {}", cell.narrative(self.window));
+        }
+        for label in &self.only_in_baseline {
+            let _ = writeln!(out, "  {label}: only in baseline");
+        }
+        for label in &self.only_in_fresh {
+            let _ = writeln!(out, "  {label}: only in fresh run");
+        }
+        out
+    }
+}
+
+/// Window-by-window comparison of one matched cell; `None` when the
+/// cell's counted series are identical.
+fn diff_cell(label: &str, a: &WindowProfile, b: &WindowProfile) -> Option<WindowCellDelta> {
+    let series_a = a.category_series();
+    let series_b = b.category_series();
+    let mut categories: Vec<&str> = series_a.keys().copied().collect();
+    for key in series_b.keys() {
+        if !series_a.contains_key(key) {
+            categories.push(key);
+        }
+    }
+    categories.sort_unstable();
+    let empty: Vec<u64> = Vec::new();
+    let windows_total = series_a.values().chain(series_b.values()).map(Vec::len).max().unwrap_or(0);
+    let mut first_window: Option<usize> = None;
+    let mut windows_changed = 0;
+    let mut top: Option<(&str, i128, usize, i128)> = None; // (cat, |net|, peak_w, net)
+    for category in &categories {
+        let sa = series_a.get(category).unwrap_or(&empty);
+        let sb = series_b.get(category).unwrap_or(&empty);
+        let mut net: i128 = 0;
+        let mut peak: (usize, i128) = (0, 0);
+        for w in 0..windows_total.max(sa.len()).max(sb.len()) {
+            let va = sa.get(w).copied().unwrap_or(0);
+            let vb = sb.get(w).copied().unwrap_or(0);
+            let d = i128::from(vb) - i128::from(va);
+            net += d;
+            if d.abs() > peak.1.abs() {
+                peak = (w, d);
+            }
+        }
+        if peak.1 != 0 && top.is_none_or(|(_, best, _, _)| net.abs() > best) {
+            top = Some((category, net.abs(), peak.0, net));
+        }
+    }
+    for w in 0..windows_total {
+        let differs = categories.iter().any(|category| {
+            let va = series_a.get(category).and_then(|s| s.get(w)).copied().unwrap_or(0);
+            let vb = series_b.get(category).and_then(|s| s.get(w)).copied().unwrap_or(0);
+            va != vb
+        });
+        if differs {
+            windows_changed += 1;
+            first_window.get_or_insert(w);
+        }
+    }
+    let first_window = first_window?;
+    let (top_category, _, top_window, top_delta) = top?;
+    Some(WindowCellDelta {
+        label: label.to_string(),
+        first_window,
+        windows_changed,
+        windows_total,
+        top_category: top_category.to_string(),
+        top_delta,
+        top_window,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(track: &str, category: &str, cycles: &[u64]) -> WindowSeries {
+        WindowSeries {
+            track: track.to_string(),
+            category: category.to_string(),
+            counted: true,
+            cycles: cycles.to_vec(),
+        }
+    }
+
+    fn doc(cells: Vec<WindowProfile>) -> WindowDoc {
+        WindowDoc { window: 1024, workload: "small".to_string(), cells }
+    }
+
+    fn cell(label: &str, series: Vec<WindowSeries>) -> WindowProfile {
+        let cycles = series.iter().filter(|s| s.counted).flat_map(|s| s.cycles.iter()).sum();
+        WindowProfile { label: label.to_string(), cycles, series }
+    }
+
+    #[test]
+    fn identical_docs_are_empty() {
+        let d = doc(vec![cell("VIRAM/CSLC", vec![series("m", "memory", &[10, 20])])]);
+        let diff = WindowDiff::compute(&d, &d);
+        assert!(diff.is_empty());
+        assert_eq!(diff.matched, 1);
+        assert!(diff.render().contains("no differences (1 cells compared, window 1024 cycles)"));
+    }
+
+    #[test]
+    fn divergence_names_the_window_and_top_mover() {
+        let a = doc(vec![cell(
+            "Raw/Corner Turn",
+            vec![series("raw.mem", "memory", &[100, 100, 100, 100])],
+        )]);
+        let b = doc(vec![cell(
+            "Raw/Corner Turn",
+            vec![series("raw.mem", "memory", &[100, 100, 500, 150])],
+        )]);
+        let diff = WindowDiff::compute(&a, &b);
+        assert_eq!(diff.cells.len(), 1);
+        let cell = &diff.cells[0];
+        assert_eq!(cell.first_window, 2);
+        assert_eq!(cell.windows_changed, 2);
+        assert_eq!(cell.top_category, "memory");
+        assert_eq!(cell.top_delta, 450);
+        assert_eq!(cell.top_window, 2);
+        let text = diff.render();
+        assert!(
+            text.contains(
+                "Raw/Corner Turn: diverges from window 2 (cycle 2048); 2 of 4 windows \
+                 differ; top mover: memory +450 cycles, peaking in window 2"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn uncounted_series_are_ignored() {
+        let mut detail = series("raw.dram", "dram-burst", &[5]);
+        detail.counted = false;
+        let a = doc(vec![cell("Raw/CSLC", vec![series("m", "memory", &[10]), detail])]);
+        let mut detail2 = series("raw.dram", "dram-burst", &[999]);
+        detail2.counted = false;
+        let b = doc(vec![cell("Raw/CSLC", vec![series("m", "memory", &[10]), detail2])]);
+        assert!(WindowDiff::compute(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn window_mismatch_is_reported_not_compared() {
+        let a = doc(vec![]);
+        let mut b = doc(vec![]);
+        b.window = 2048;
+        let diff = WindowDiff::compute(&a, &b);
+        assert!(!diff.is_empty());
+        assert!(diff.render().contains("window sizes differ (1024 vs 2048 cycles)"));
+    }
+
+    #[test]
+    fn unmatched_cells_are_listed() {
+        let a = doc(vec![cell("PPC/CSLC", vec![series("m", "issue", &[1])])]);
+        let b = doc(vec![cell("DPU/CSLC", vec![series("m", "tasklet", &[1])])]);
+        let diff = WindowDiff::compute(&a, &b);
+        assert_eq!(diff.matched, 0);
+        let text = diff.render();
+        assert!(text.contains("PPC/CSLC: only in baseline"));
+        assert!(text.contains("DPU/CSLC: only in fresh run"));
+    }
+
+    #[test]
+    fn category_series_sums_across_tracks() {
+        let profile =
+            cell("VIRAM/CSLC", vec![series("a", "memory", &[1, 2]), series("b", "memory", &[10])]);
+        assert_eq!(profile.category_series().get("memory"), Some(&vec![11, 2]));
+    }
+}

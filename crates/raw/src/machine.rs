@@ -10,8 +10,8 @@ use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults, TransferFaults};
 use triarch_simcore::metrics::{Histogram, Metric, MetricsReport};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
-    AccessPattern, CycleBreakdown, CycleBudget, Cycles, DramModel, KernelRun, SimError,
-    Verification, WordMemory,
+    AccessPattern, CycleBudget, CycleLedger, Cycles, DramModel, KernelRun, SimError, Verification,
+    WordMemory,
 };
 
 use crate::config::RawConfig;
@@ -56,7 +56,7 @@ pub struct RawMachine<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     phases: u64,
     /// Fixed-bucket histogram of per-phase charged cycles.
     phase_hist: Histogram,
-    breakdown: CycleBreakdown,
+    ledger: CycleLedger,
     ops: u64,
     mem_words: u64,
     in_phase: bool,
@@ -114,7 +114,7 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
             total_net_words: 0,
             phases: 0,
             phase_hist: Histogram::cycles(),
-            breakdown: CycleBreakdown::new(),
+            ledger: CycleLedger::new(),
             ops: 0,
             mem_words: 0,
             in_phase: false,
@@ -170,7 +170,7 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
         self.phase_mem_overhead = 0;
         self.phase_activity = 0;
         if self.sink.is_enabled() {
-            self.sink.instant(TRACK_TILES, "phase-begin", self.breakdown.total().get());
+            self.sink.instant(TRACK_TILES, "phase-begin", self.ledger.total().get());
         }
         Ok(())
     }
@@ -247,7 +247,7 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
         self.check_phase()?;
         // Uncounted DRAM detail on the port's own timeline (phase charges
         // only land at end_phase, on whichever resource binds).
-        let cursor = self.breakdown.total().get() + self.phase_mem + self.phase_mem_overhead;
+        let cursor = self.ledger.total().get() + self.phase_mem + self.phase_mem_overhead;
         let cost = self.dram.transfer_observed(
             addr,
             words,
@@ -317,7 +317,7 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
             return Err(SimError::unsupported("end_phase without begin_phase"));
         }
         self.in_phase = false;
-        let charged_before = self.breakdown.total().get();
+        let charged_before = self.ledger.total().get();
         self.total_issue += self.tiles.iter().map(|t| t.issue).sum::<u64>();
         self.total_stall += self.tiles.iter().map(|t| t.stall).sum::<u64>();
         self.total_net_words += self.tiles.iter().map(|t| t.net_words).sum::<u64>();
@@ -358,9 +358,9 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
             self.charge(TRACK_TILES, "network", "static-network", Cycles::new(net_bound));
         }
         self.charge(TRACK_TILES, "startup", "phase-startup", Cycles::new(self.cfg.phase_startup));
-        self.phase_hist.observe(self.breakdown.total().get() - charged_before);
+        self.phase_hist.observe(self.ledger.total().get() - charged_before);
         if self.sink.is_enabled() {
-            self.sink.instant(TRACK_TILES, "phase-end", self.breakdown.total().get());
+            self.sink.instant(TRACK_TILES, "phase-end", self.ledger.total().get());
         }
         self.phase_activity = 0;
         self.budget.check(self.spent)
@@ -379,17 +379,17 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
             return;
         }
         if self.sink.is_enabled() {
-            let at = self.breakdown.total().get();
+            let at = self.ledger.total().get();
             self.sink.span(track, category, name, at, cycles.get());
         }
         self.spent = self.spent.saturating_add(cycles.get());
-        self.breakdown.charge(category, cycles);
+        self.ledger.charge(category, cycles);
     }
 
     /// Total cycles charged so far.
     #[must_use]
     pub fn cycles(&self) -> Cycles {
-        self.breakdown.total()
+        self.ledger.total()
     }
 
     /// Consumes the machine into a [`KernelRun`].
@@ -401,9 +401,10 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
         if self.in_phase {
             return Err(SimError::unsupported("finish with open phase"));
         }
-        let total = self.breakdown.total();
+        let breakdown = self.ledger.into_breakdown();
+        let total = breakdown.total();
         let mut metrics = MetricsReport::new();
-        self.breakdown.export_metrics(&mut metrics, "raw.cycles");
+        breakdown.export_metrics(&mut metrics, "raw.cycles");
         self.dram.export_metrics(&mut metrics, "raw.dram");
         self.budget.export_metrics(&mut metrics, "raw.budget", self.spent);
         metrics.counter("raw.net.words", self.total_net_words);
@@ -430,7 +431,7 @@ impl<S: TraceSink, F: FaultHook> RawMachine<S, F> {
         metrics.set("raw.phases.cycles", Metric::Histogram(self.phase_hist));
         Ok(KernelRun {
             cycles: total,
-            breakdown: self.breakdown,
+            breakdown,
             ops_executed: self.ops,
             mem_words: self.mem_words,
             verification,
@@ -493,7 +494,7 @@ mod tests {
 
     impl RawMachine {
         fn breakdown_get(&self, cat: &str) -> u64 {
-            self.breakdown.get(cat).get()
+            self.ledger.get(cat).get()
         }
     }
 

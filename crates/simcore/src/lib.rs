@@ -56,4 +56,4 @@ pub use error::SimError;
 pub use machine::{KernelRun, MachineInfo, Verification};
 pub use mem::WordMemory;
 pub use model::{KernelDemands, ThroughputModel};
-pub use stats::CycleBreakdown;
+pub use stats::{CycleBreakdown, CycleLedger};

@@ -133,6 +133,104 @@ impl CycleBreakdown {
     }
 }
 
+/// An allocation-free accumulation ledger for engine hot paths.
+///
+/// Engines charge cycles at event granularity — often millions of calls
+/// per run — where [`CycleBreakdown::charge`] is the wrong tool: it
+/// allocates a `String` per call and walks a `BTreeMap`, and
+/// [`CycleBreakdown::total`] re-sums every category each time an engine
+/// needs its span cursor. `CycleLedger` is the batched fast path used by
+/// ROADMAP item 2's NullSink optimization: `&'static str` categories in
+/// an insertion-ordered `Vec` (engines charge a handful of distinct
+/// categories, so linear find beats a tree), plus a running total read in
+/// O(1).
+///
+/// Convert to a [`CycleBreakdown`] once, at `finish()`:
+///
+/// ```
+/// use triarch_simcore::{CycleLedger, Cycles};
+///
+/// let mut ledger = CycleLedger::new();
+/// ledger.charge("memory", Cycles::new(870));
+/// ledger.charge("compute", Cycles::new(130));
+/// ledger.charge("memory", Cycles::new(30));
+/// assert_eq!(ledger.total(), Cycles::new(1_030));
+/// assert_eq!(ledger.into_breakdown().get("memory"), Cycles::new(900));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleLedger {
+    entries: Vec<(&'static str, Cycles)>,
+    total: Cycles,
+}
+
+impl CycleLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to `category`, creating the category if needed.
+    #[inline]
+    pub fn charge(&mut self, category: &'static str, cycles: Cycles) {
+        self.total += cycles;
+        if let Some(entry) = self.entries.iter_mut().find(|(name, _)| *name == category) {
+            entry.1 += cycles;
+        } else {
+            self.entries.push((category, cycles));
+        }
+    }
+
+    /// Returns the cycles charged to `category` (zero if absent).
+    #[must_use]
+    pub fn get(&self, category: &str) -> Cycles {
+        self.entries
+            .iter()
+            .find(|(name, _)| *name == category)
+            .map(|(_, cycles)| *cycles)
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Total cycles across all categories — O(1), maintained on charge.
+    #[inline]
+    #[must_use]
+    pub fn total(&self) -> Cycles {
+        self.total
+    }
+
+    /// Fraction of the total charged to `category` (0.0 when empty).
+    #[must_use]
+    pub fn fraction(&self, category: &str) -> f64 {
+        if self.total == Cycles::ZERO {
+            return 0.0;
+        }
+        self.get(category).ratio(self.total)
+    }
+
+    /// Iterates `(category, cycles)` pairs in first-charge order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Cycles)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Whether no cycles have been charged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts into the sorted [`CycleBreakdown`] reported by `finish()`.
+    #[must_use]
+    pub fn into_breakdown(self) -> CycleBreakdown {
+        self.entries.into_iter().collect()
+    }
+
+    /// Builds the sorted [`CycleBreakdown`] without consuming the ledger.
+    #[must_use]
+    pub fn to_breakdown(&self) -> CycleBreakdown {
+        self.iter().collect()
+    }
+}
+
 impl fmt::Display for CycleBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.total();
@@ -210,6 +308,37 @@ mod tests {
         assert_eq!(report.counter_value("viram.cycles.memory"), Some(870));
         assert_eq!(report.counter_value("viram.cycles.compute"), Some(130));
         assert_eq!(report.counter_sum("viram.cycles."), b.total().get());
+    }
+
+    #[test]
+    fn ledger_matches_breakdown_with_constant_time_total() {
+        let mut ledger = CycleLedger::new();
+        let mut breakdown = CycleBreakdown::new();
+        for (category, cycles) in
+            [("memory", 10), ("compute", 3), ("memory", 7), ("ecc", 1), ("compute", 4)]
+        {
+            ledger.charge(category, Cycles::new(cycles));
+            breakdown.charge(category, Cycles::new(cycles));
+        }
+        assert_eq!(ledger.total(), breakdown.total());
+        assert_eq!(ledger.get("memory"), Cycles::new(17));
+        assert_eq!(ledger.get("missing"), Cycles::ZERO);
+        assert_eq!(ledger.fraction("memory"), breakdown.fraction("memory"));
+        assert_eq!(ledger.to_breakdown(), breakdown);
+        assert_eq!(ledger.clone().into_breakdown(), breakdown);
+        // Iteration preserves first-charge order (overlap replay relies
+        // on it), while the converted breakdown is category-sorted.
+        let order: Vec<&str> = ledger.iter().map(|(k, _)| k).collect();
+        assert_eq!(order, vec!["memory", "compute", "ecc"]);
+    }
+
+    #[test]
+    fn empty_ledger_is_total_zero() {
+        let ledger = CycleLedger::new();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.total(), Cycles::ZERO);
+        assert_eq!(ledger.fraction("memory"), 0.0);
+        assert!(ledger.to_breakdown().is_empty());
     }
 
     #[test]

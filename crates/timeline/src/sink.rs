@@ -1,0 +1,77 @@
+//! The `TraceSink` adapter that feeds a [`Timeline`].
+
+use triarch_trace::{TraceEvent, TraceSink};
+
+use crate::window::Timeline;
+
+/// Buckets every span it observes into a [`Timeline`].
+///
+/// Counted spans land in the counted plane (the conservation surface);
+/// uncounted spans land in the detail plane. Instants and counters are
+/// ignored — the windowed view is about where cycles go, and only spans
+/// carry cycles.
+///
+/// Install it anywhere a `TraceSink` goes, typically tee'd with the
+/// sink the run already uses:
+///
+/// ```
+/// use triarch_timeline::TimelineSink;
+/// use triarch_trace::TraceSink;
+///
+/// let mut sink = TimelineSink::new(16);
+/// sink.span("mach.mem", "memory", "vld", 0, 40);
+/// let timeline = sink.into_timeline();
+/// assert_eq!(timeline.total(), 40);
+/// assert_eq!(timeline.windows(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineSink {
+    timeline: Timeline,
+}
+
+impl TimelineSink {
+    /// Creates a sink bucketing into windows of `window` cycles.
+    #[must_use]
+    pub fn new(window: u64) -> Self {
+        TimelineSink { timeline: Timeline::new(window) }
+    }
+
+    /// The timeline accumulated so far.
+    #[must_use]
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Consumes the sink, yielding its timeline.
+    #[must_use]
+    pub fn into_timeline(self) -> Timeline {
+        self.timeline
+    }
+}
+
+impl TraceSink for TimelineSink {
+    fn record(&mut self, event: TraceEvent) {
+        if let TraceEvent::Span { track, category, start, dur, counted, .. } = event {
+            self.timeline.add_span(track, category, start, dur, counted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_buckets_spans_and_ignores_points() {
+        let mut sink = TimelineSink::new(8);
+        assert!(sink.is_enabled());
+        sink.span("t", "compute", "n", 0, 10);
+        sink.span_uncounted("t.dram", "burst", "n", 0, 4);
+        sink.instant("t", "phase-begin", 0);
+        sink.counter("t", "rows", 0, 2.0);
+        assert_eq!(sink.timeline().total(), 10);
+        assert_eq!(sink.timeline().detail_tracks(), vec!["t.dram"]);
+        let timeline = sink.into_timeline();
+        assert_eq!(timeline.windows(), 2);
+    }
+}

@@ -1,0 +1,414 @@
+//! The windowed series container and its merge/coarsen algebra.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default window size in cycles, overridable via `repro`'s `--window N`.
+pub const DEFAULT_WINDOW: u64 = 1024;
+
+/// An error from combining timelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineError {
+    /// Two timelines with different window sizes cannot be merged.
+    WindowMismatch {
+        /// Window size of the left operand.
+        a: u64,
+        /// Window size of the right operand.
+        b: u64,
+    },
+}
+
+impl fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimelineError::WindowMismatch { a, b } => {
+                write!(f, "window size mismatch: {a} vs {b} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
+/// Busy/stall cycle totals for one window, across every counted track.
+///
+/// `span` is the number of cycles the window actually covers (the final
+/// window of a run is clipped to the run's end); idle time is
+/// `span − busy − stall`, which is never negative because counted spans
+/// across all tracks serialize into a partition of the cycle axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Cycles charged to non-stall categories in this window.
+    pub busy: u64,
+    /// Cycles charged to stall categories (see [`crate::STALL_CATEGORIES`]).
+    pub stall: u64,
+    /// Cycles this window covers (`window`, clipped at the run's end).
+    pub span: u64,
+}
+
+impl Occupancy {
+    /// Idle cycles: covered but charged to no counted span.
+    #[must_use]
+    pub fn idle(&self) -> u64 {
+        self.span.saturating_sub(self.busy).saturating_sub(self.stall)
+    }
+}
+
+/// A per-`(track, category)` cycle series over fixed-size windows.
+///
+/// Counted spans land in the *counted* plane (conservation holds there);
+/// uncounted spans land in the *detail* plane (visualization only). All
+/// iteration orders are `BTreeMap` orders, so every export is
+/// byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    window: u64,
+    counted: BTreeMap<(&'static str, &'static str), Vec<u64>>,
+    detail: BTreeMap<(&'static str, &'static str), Vec<u64>>,
+    /// Highest end cycle of any counted span.
+    span_end: u64,
+}
+
+impl Timeline {
+    /// Creates an empty timeline with the given window size in cycles.
+    ///
+    /// A window size of `0` is normalized to `1` so the type is total;
+    /// the CLI rejects `--window 0` before construction.
+    #[must_use]
+    pub fn new(window: u64) -> Self {
+        Timeline {
+            window: window.max(1),
+            counted: BTreeMap::new(),
+            detail: BTreeMap::new(),
+            span_end: 0,
+        }
+    }
+
+    /// The window size in cycles.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Number of windows covered by the counted plane.
+    #[must_use]
+    pub fn windows(&self) -> usize {
+        self.counted.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Highest end cycle of any counted span (the run length once the
+    /// counted spans tile the run).
+    #[must_use]
+    pub fn span_end(&self) -> u64 {
+        self.span_end
+    }
+
+    /// Buckets a span into the counted or detail plane.
+    pub fn add_span(
+        &mut self,
+        track: &'static str,
+        category: &'static str,
+        start: u64,
+        dur: u64,
+        counted: bool,
+    ) {
+        if dur == 0 {
+            return;
+        }
+        let end = start.saturating_add(dur);
+        let window = self.window;
+        if counted {
+            self.span_end = self.span_end.max(end);
+        }
+        let plane = if counted { &mut self.counted } else { &mut self.detail };
+        let series = plane.entry((track, category)).or_default();
+        let first = (start / window) as usize;
+        let last = ((end - 1) / window) as usize;
+        if series.len() <= last {
+            series.resize(last + 1, 0);
+        }
+        for (w, slot) in series.iter_mut().enumerate().take(last + 1).skip(first) {
+            let w_start = (w as u64) * window;
+            let w_end = w_start + window;
+            *slot += end.min(w_end) - start.max(w_start);
+        }
+    }
+
+    /// Iterates the counted plane: `(track, category, per-window cycles)`.
+    pub fn counted_series(&self) -> impl Iterator<Item = (&'static str, &'static str, &[u64])> {
+        self.counted.iter().map(|(&(track, category), v)| (track, category, v.as_slice()))
+    }
+
+    /// Iterates the detail (uncounted) plane.
+    pub fn detail_series(&self) -> impl Iterator<Item = (&'static str, &'static str, &[u64])> {
+        self.detail.iter().map(|(&(track, category), v)| (track, category, v.as_slice()))
+    }
+
+    /// Sorted counted track labels.
+    #[must_use]
+    pub fn counted_tracks(&self) -> Vec<&'static str> {
+        let mut tracks: Vec<&'static str> = self.counted.keys().map(|&(t, _)| t).collect();
+        tracks.dedup();
+        tracks
+    }
+
+    /// Sorted detail track labels.
+    #[must_use]
+    pub fn detail_tracks(&self) -> Vec<&'static str> {
+        let mut tracks: Vec<&'static str> = self.detail.keys().map(|&(t, _)| t).collect();
+        tracks.dedup();
+        tracks
+    }
+
+    /// Per-category counted totals over all tracks and windows.
+    ///
+    /// This is the conservation surface: it must equal the engine's
+    /// `CycleBreakdown` entry for every category, with drift 0.
+    #[must_use]
+    pub fn category_totals(&self) -> BTreeMap<&'static str, u64> {
+        let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (&(_, category), series) in &self.counted {
+            *totals.entry(category).or_insert(0) += series.iter().sum::<u64>();
+        }
+        totals
+    }
+
+    /// Total counted cycles over every window.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counted.values().flat_map(|s| s.iter()).sum()
+    }
+
+    /// Per-window busy/stall occupancy across every counted track.
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<Occupancy> {
+        let windows = self.windows();
+        let mut out = Vec::with_capacity(windows);
+        for w in 0..windows {
+            let mut busy = 0u64;
+            let mut stall = 0u64;
+            for (&(_, category), series) in &self.counted {
+                let cycles = series.get(w).copied().unwrap_or(0);
+                if crate::is_stall_category(category) {
+                    stall += cycles;
+                } else {
+                    busy += cycles;
+                }
+            }
+            let w_start = (w as u64) * self.window;
+            let span = self.span_end.saturating_sub(w_start).min(self.window);
+            out.push(Occupancy { busy, stall, span });
+        }
+        out
+    }
+
+    /// Element-wise sum of two timelines with the same window size.
+    ///
+    /// Merge is commutative and associative, and bucketing distributes
+    /// over it: the timeline of a combined span stream equals the merge
+    /// of the per-stream timelines (property-tested below).
+    pub fn merge(&self, other: &Timeline) -> Result<Timeline, TimelineError> {
+        if self.window != other.window {
+            return Err(TimelineError::WindowMismatch { a: self.window, b: other.window });
+        }
+        let mut out = self.clone();
+        out.span_end = out.span_end.max(other.span_end);
+        for (plane, theirs) in
+            [(&mut out.counted, &other.counted), (&mut out.detail, &other.detail)]
+        {
+            for (&key, series) in theirs {
+                let mine = plane.entry(key).or_default();
+                if mine.len() < series.len() {
+                    mine.resize(series.len(), 0);
+                }
+                for (slot, add) in mine.iter_mut().zip(series) {
+                    *slot += add;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-buckets into a window `factor` times coarser.
+    ///
+    /// Coarsening is lossless — each coarse window is the sum of whole
+    /// fine windows, so `t.coarsen(k)` equals the timeline built directly
+    /// at window `k·W` from the same spans. A factor of `0` is normalized
+    /// to `1`.
+    #[must_use]
+    pub fn coarsen(&self, factor: u64) -> Timeline {
+        let factor = factor.max(1);
+        let mut out = Timeline::new(self.window.saturating_mul(factor));
+        out.span_end = self.span_end;
+        let k = factor as usize;
+        for (plane, fine) in [(&mut out.counted, &self.counted), (&mut out.detail, &self.detail)] {
+            for (&key, series) in fine {
+                let coarse: Vec<u64> = series.chunks(k).map(|c| c.iter().sum()).collect();
+                plane.insert(key, coarse);
+            }
+        }
+        out
+    }
+
+    /// Renders the per-window series as CSV.
+    ///
+    /// Columns: `window,start_cycle,track,category,counted,cycles`. Rows
+    /// are emitted window-major, counted plane before detail, keys in
+    /// `BTreeMap` order; zero cells are skipped. Byte-deterministic.
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("window,start_cycle,track,category,counted,cycles\n");
+        let windows = self.windows().max(self.detail.values().map(Vec::len).max().unwrap_or(0));
+        for w in 0..windows {
+            for (plane, counted) in [(&self.counted, 1u8), (&self.detail, 0u8)] {
+                for (&(track, category), series) in plane {
+                    let cycles = series.get(w).copied().unwrap_or(0);
+                    if cycles > 0 {
+                        let start = (w as u64) * self.window;
+                        out.push_str(&format!(
+                            "{w},{start},{track},{category},{counted},{cycles}\n"
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tl(window: u64, spans: &[(u64, u64)]) -> Timeline {
+        let mut t = Timeline::new(window);
+        for &(start, dur) in spans {
+            t.add_span("trk", "memory", start, dur, true);
+        }
+        t
+    }
+
+    #[test]
+    fn a_span_is_split_across_windows_losslessly() {
+        let t = tl(10, &[(5, 20)]);
+        let series: Vec<_> = t.counted_series().collect();
+        assert_eq!(series, vec![("trk", "memory", &[5u64, 10, 5][..])]);
+        assert_eq!(t.total(), 20);
+        assert_eq!(t.span_end(), 25);
+        assert_eq!(t.windows(), 3);
+    }
+
+    #[test]
+    fn detail_spans_never_reach_conservation() {
+        let mut t = Timeline::new(8);
+        t.add_span("trk", "memory", 0, 8, true);
+        t.add_span("trk.dram", "dram-burst", 0, 100, false);
+        assert_eq!(t.total(), 8);
+        assert_eq!(t.category_totals().get("dram-burst"), None);
+        assert_eq!(t.detail_tracks(), vec!["trk.dram"]);
+        // But the detail plane is exported.
+        assert!(t.render_csv().contains("trk.dram,dram-burst,0,"));
+    }
+
+    #[test]
+    fn occupancy_splits_busy_stall_idle() {
+        let mut t = Timeline::new(10);
+        t.add_span("trk", "compute", 0, 4, true);
+        t.add_span("trk", "precharge", 4, 3, true);
+        t.add_span("trk", "compute", 10, 5, true);
+        let occ = t.occupancy();
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0], Occupancy { busy: 4, stall: 3, span: 10 });
+        assert_eq!(occ[0].idle(), 3);
+        // Final window is clipped to the run's end at cycle 15.
+        assert_eq!(occ[1], Occupancy { busy: 5, stall: 0, span: 5 });
+        assert_eq!(occ[1].idle(), 0);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_windows() {
+        let a = Timeline::new(8);
+        let b = Timeline::new(16);
+        let err = a.merge(&b);
+        assert_eq!(err, Err(TimelineError::WindowMismatch { a: 8, b: 16 }));
+        assert_eq!(
+            TimelineError::WindowMismatch { a: 8, b: 16 }.to_string(),
+            "window size mismatch: 8 vs 16 cycles"
+        );
+    }
+
+    #[test]
+    fn zero_window_and_zero_factor_are_normalized() {
+        let t = Timeline::new(0);
+        assert_eq!(t.window(), 1);
+        assert_eq!(t.coarsen(0).window(), 1);
+    }
+
+    #[test]
+    fn csv_skips_zero_cells_and_is_window_major() {
+        let mut t = Timeline::new(10);
+        t.add_span("b", "compute", 0, 2, true);
+        t.add_span("a", "memory", 15, 5, true);
+        assert_eq!(
+            t.render_csv(),
+            "window,start_cycle,track,category,counted,cycles\n\
+             0,0,b,compute,1,2\n\
+             1,10,a,memory,1,5\n"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn bucketing_conserves_total_duration(
+            window in 1u64..64,
+            spans in proptest::collection::vec((0u64..2048, 0u64..256), 0..24),
+        ) {
+            let t = tl(window, &spans);
+            let expect: u64 = spans.iter().map(|&(_, d)| d).sum();
+            prop_assert_eq!(t.total(), expect);
+        }
+
+        #[test]
+        fn merge_is_commutative_and_distributes_over_bucketing(
+            window in 1u64..64,
+            left in proptest::collection::vec((0u64..2048, 0u64..256), 0..12),
+            right in proptest::collection::vec((0u64..2048, 0u64..256), 0..12),
+        ) {
+            let a = tl(window, &left);
+            let b = tl(window, &right);
+            let ab = a.merge(&b);
+            let ba = b.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            let mut combined: Vec<(u64, u64)> = left.clone();
+            combined.extend_from_slice(&right);
+            prop_assert_eq!(ab.ok(), Some(tl(window, &combined)));
+        }
+
+        #[test]
+        fn merge_is_associative(
+            window in 1u64..64,
+            x in proptest::collection::vec((0u64..2048, 0u64..256), 0..8),
+            y in proptest::collection::vec((0u64..2048, 0u64..256), 0..8),
+            z in proptest::collection::vec((0u64..2048, 0u64..256), 0..8),
+        ) {
+            let (a, b, c) = (tl(window, &x), tl(window, &y), tl(window, &z));
+            let left = a.merge(&b).and_then(|ab| ab.merge(&c));
+            let right = b.merge(&c).and_then(|bc| a.merge(&bc));
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn coarsening_matches_direct_bucketing_at_the_coarse_window(
+            window in 1u64..32,
+            factor in 1u64..8,
+            spans in proptest::collection::vec((0u64..2048, 0u64..256), 0..16),
+        ) {
+            let fine = tl(window, &spans);
+            let direct = tl(window * factor, &spans);
+            prop_assert_eq!(fine.coarsen(factor), direct);
+        }
+    }
+}

@@ -17,8 +17,8 @@ use triarch_simcore::faults::{FaultDomain, FaultHook, NoFaults, TransferFaults};
 use triarch_simcore::metrics::{Histogram, Metric, MetricsReport};
 use triarch_simcore::trace::{NullSink, TraceSink};
 use triarch_simcore::{
-    AccessPattern, CycleBreakdown, CycleBudget, Cycles, DramModel, KernelRun, SimError,
-    Verification, WordMemory,
+    AccessPattern, CycleBudget, CycleLedger, Cycles, DramModel, KernelRun, SimError, Verification,
+    WordMemory,
 };
 
 use crate::config::ViramConfig;
@@ -53,32 +53,13 @@ pub enum IntOp {
     Shr,
 }
 
-/// One side (memory or compute) of an open overlap region: per-category
-/// totals with `&'static str` keys so the winner can be replayed as counted
-/// trace spans at [`VectorUnit::end_overlap`].
-#[derive(Debug, Default, Clone)]
-struct SideAcc {
-    entries: Vec<(&'static str, Cycles)>,
-}
-
-impl SideAcc {
-    fn charge(&mut self, category: &'static str, cycles: Cycles) {
-        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| *k == category) {
-            entry.1 += cycles;
-        } else {
-            self.entries.push((category, cycles));
-        }
-    }
-
-    fn total(&self) -> Cycles {
-        self.entries.iter().map(|(_, c)| *c).sum()
-    }
-}
-
 #[derive(Debug, Default, Clone)]
 struct OverlapAcc {
-    mem: SideAcc,
-    compute: SideAcc,
+    /// Memory-side per-category totals: a [`CycleLedger`] keeps
+    /// `&'static str` keys in first-charge order so the winner can be
+    /// replayed as counted trace spans at [`VectorUnit::end_overlap`].
+    mem: CycleLedger,
+    compute: CycleLedger,
     /// Cycle cursor (== charged total) when the region opened.
     start: u64,
 }
@@ -96,7 +77,7 @@ pub struct VectorUnit<S: TraceSink = NullSink, F: FaultHook = NoFaults> {
     mem: WordMemory,
     dram: DramModel,
     tlb: Tlb,
-    breakdown: CycleBreakdown,
+    ledger: CycleLedger,
     hidden: Cycles,
     ops: u64,
     mem_words: u64,
@@ -148,7 +129,7 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
             mem: WordMemory::new(cfg.dram_words),
             dram: DramModel::new(cfg.dram)?,
             tlb: Tlb::new(cfg.tlb_entries, cfg.page_words),
-            breakdown: CycleBreakdown::new(),
+            ledger: CycleLedger::new(),
             hidden: Cycles::ZERO,
             ops: 0,
             mem_words: 0,
@@ -223,10 +204,10 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
             }
             None => {
                 if self.sink.is_enabled() {
-                    let at = self.breakdown.total().get();
+                    let at = self.ledger.total().get();
                     self.sink.span(track, category, name, at, cycles.get());
                 }
-                self.breakdown.charge(category, cycles);
+                self.ledger.charge(category, cycles);
             }
         }
     }
@@ -240,7 +221,7 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
         if self.overlap.is_some() {
             return Err(SimError::unsupported("nested overlap regions"));
         }
-        let start = self.breakdown.total().get();
+        let start = self.ledger.total().get();
         if self.sink.is_enabled() {
             self.sink.instant(TRACK_VEC, "overlap-begin", start);
         }
@@ -273,14 +254,14 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
         };
         if self.sink.is_enabled() {
             let mut t = acc.start;
-            for &(category, cycles) in &winner.entries {
+            for (category, cycles) in winner.iter() {
                 self.sink.span(winner_track, category, "overlap-charged", t, cycles.get());
                 t += cycles.get();
             }
             self.sink.instant(TRACK_VEC, "overlap-end", t);
         }
-        for &(category, cycles) in &winner.entries {
-            self.breakdown.charge(category, cycles);
+        for (category, cycles) in winner.iter() {
+            self.ledger.charge(category, cycles);
         }
         self.hidden += hidden;
         self.budget.check(self.spent)
@@ -391,7 +372,7 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
     fn mem_cursor(&self) -> u64 {
         match &self.overlap {
             Some(acc) => acc.start + acc.mem.total().get(),
-            None => self.breakdown.total().get(),
+            None => self.ledger.total().get(),
         }
     }
 
@@ -636,7 +617,7 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
     /// Total cycles charged so far.
     #[must_use]
     pub fn cycles(&self) -> Cycles {
-        self.breakdown.total()
+        self.ledger.total()
     }
 
     /// Cycles hidden by overlap regions (not part of the total).
@@ -661,9 +642,10 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
         if self.overlap.is_some() {
             return Err(SimError::unsupported("finish with open overlap region"));
         }
-        let total = self.breakdown.total();
+        let breakdown = self.ledger.into_breakdown();
+        let total = breakdown.total();
         let mut metrics = MetricsReport::new();
-        self.breakdown.export_metrics(&mut metrics, "viram.cycles");
+        breakdown.export_metrics(&mut metrics, "viram.cycles");
         self.dram.export_metrics(&mut metrics, "viram.dram");
         self.budget.export_metrics(&mut metrics, "viram.budget", self.spent);
         metrics.counter("viram.tlb.misses", self.tlb.misses());
@@ -682,7 +664,7 @@ impl<S: TraceSink, F: FaultHook> VectorUnit<S, F> {
         metrics.set("viram.mem.xfer_cycles", Metric::Histogram(self.mem_hist));
         Ok(KernelRun {
             cycles: total,
-            breakdown: self.breakdown,
+            breakdown,
             ops_executed: self.ops,
             mem_words: self.mem_words,
             verification,
@@ -769,7 +751,7 @@ mod tests {
 
     impl VectorUnit {
         fn breakdown_fraction_compute(&self) -> f64 {
-            self.breakdown.fraction("compute")
+            self.ledger.fraction("compute")
         }
     }
 

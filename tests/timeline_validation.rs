@@ -1,0 +1,166 @@
+//! Validation of the cycle-windowed timeline telemetry end to end: the
+//! windowed occupancy sums reproduce every engine's `CycleBreakdown`
+//! with drift exactly 0 on all 18 grid cells, the window algebra
+//! (merge, coarsen) obeys its conservation laws on real traces, and
+//! every timeline artifact — per-cell CSV, per-cell SVG, and the
+//! combined `timeline.json` — is byte-identical across `--jobs` worker
+//! counts (1, 2, 16) and across consecutive runs.
+
+use triarch_core::arch::grid;
+use triarch_core::chart::render_timeline_svg;
+use triarch_core::htmlreport::{self, FoldedCell};
+use triarch_core::timelinedoc;
+use triarch_kernels::WorkloadSet;
+use triarch_timeline::{is_stall_category, DEFAULT_WINDOW};
+
+const SEED: u64 = 42;
+
+/// Timeline window size used by the artifact corpus; small enough that
+/// every small-workload cell spans multiple windows.
+const WINDOW: u64 = 512;
+
+/// Worker counts checked against the serial baseline; 16 oversubscribes
+/// the 18-cell grid.
+const WORKER_COUNTS: [usize; 2] = [2, 16];
+
+fn folds_at(jobs: usize, window: u64) -> Vec<FoldedCell> {
+    let workloads = WorkloadSet::small(SEED).unwrap();
+    let (folds, _) = htmlreport::collect_folds_jobs_windowed(&workloads, jobs, window).unwrap();
+    folds
+}
+
+/// The concatenated per-cell CSV rendering of a full grid.
+fn csv_corpus(folds: &[FoldedCell]) -> String {
+    folds.iter().map(|c| c.timeline.render_csv()).collect::<Vec<_>>().join("")
+}
+
+/// The concatenated per-cell SVG rendering of a full grid.
+fn svg_corpus(folds: &[FoldedCell]) -> String {
+    folds.iter().map(|c| render_timeline_svg(&c.label(), &c.timeline)).collect::<Vec<_>>().join("")
+}
+
+#[test]
+fn window_sums_readd_to_breakdowns_with_drift_zero_on_all_cells() {
+    let folds = folds_at(1, WINDOW);
+    assert_eq!(folds.len(), grid().len());
+    assert_eq!(folds.len(), 18);
+    for cell in &folds {
+        // Total + per-category conservation, including "no extra
+        // windowed categories" (see `FoldedCell::timeline_drift`).
+        assert_eq!(cell.timeline_drift(), 0, "{}: occupancy drift", cell.label());
+        assert_eq!(cell.timeline.total(), cell.run.cycles.get(), "{}", cell.label());
+        for (category, cycles) in cell.run.breakdown.iter() {
+            let windowed = cell.timeline.category_totals().get(category).copied().unwrap_or(0);
+            assert_eq!(windowed, cycles.get(), "{}: category '{category}'", cell.label());
+        }
+    }
+}
+
+#[test]
+fn occupancy_partitions_every_window_on_all_cells() {
+    for cell in &folds_at(1, WINDOW) {
+        let occupancy = cell.timeline.occupancy();
+        let mut busy = 0u64;
+        let mut stall = 0u64;
+        for window in &occupancy {
+            // busy + stall + idle tiles the window span exactly.
+            assert_eq!(window.busy + window.stall + window.idle(), window.span, "{}", cell.label());
+            busy += window.busy;
+            stall += window.stall;
+        }
+        // The busy/stall split re-adds to the breakdown's own split.
+        let (mut expect_busy, mut expect_stall) = (0u64, 0u64);
+        for (category, cycles) in cell.run.breakdown.iter() {
+            if is_stall_category(category) {
+                expect_stall += cycles.get();
+            } else {
+                expect_busy += cycles.get();
+            }
+        }
+        assert_eq!(busy, expect_busy, "{}: busy cycles", cell.label());
+        assert_eq!(stall, expect_stall, "{}: stall cycles", cell.label());
+    }
+}
+
+#[test]
+fn merge_and_coarsen_conserve_cycles_on_real_traces() {
+    let folds = folds_at(1, WINDOW);
+    for pair in folds.chunks(2) {
+        let [a, b] = pair else { continue };
+        let merged = a.timeline.merge(&b.timeline).unwrap();
+        assert_eq!(
+            merged.total(),
+            a.timeline.total() + b.timeline.total(),
+            "{} + {}",
+            a.label(),
+            b.label(),
+        );
+    }
+    for cell in &folds {
+        // Coarsening is lossless at any factor, including a final
+        // partial coarse window.
+        for factor in [2, 3, 7] {
+            let coarse = cell.timeline.coarsen(factor);
+            assert_eq!(coarse.window(), WINDOW * factor, "{}", cell.label());
+            assert_eq!(coarse.total(), cell.timeline.total(), "{} /{factor}", cell.label());
+        }
+    }
+}
+
+#[test]
+fn refining_the_window_never_loses_cycles() {
+    // The same grid bucketed at a 4x finer window coarsens back to the
+    // coarse bucketing exactly, cell by cell and window by window.
+    let coarse = folds_at(1, WINDOW);
+    let fine = folds_at(1, WINDOW / 4);
+    for (c, f) in coarse.iter().zip(&fine) {
+        assert_eq!(c.label(), f.label());
+        let recoarsened = f.timeline.coarsen(4);
+        assert_eq!(c.timeline.render_csv(), recoarsened.render_csv(), "{}", c.label());
+    }
+}
+
+#[test]
+fn timeline_csvs_are_byte_identical_across_worker_counts() {
+    let baseline = csv_corpus(&folds_at(1, WINDOW));
+    assert!(!baseline.is_empty());
+    for jobs in WORKER_COUNTS {
+        assert_eq!(baseline, csv_corpus(&folds_at(jobs, WINDOW)), "jobs {jobs}");
+    }
+    // And across consecutive runs at the same worker count.
+    assert_eq!(baseline, csv_corpus(&folds_at(1, WINDOW)));
+}
+
+#[test]
+fn timeline_svgs_are_byte_identical_across_worker_counts() {
+    let baseline = svg_corpus(&folds_at(1, WINDOW));
+    for jobs in WORKER_COUNTS {
+        assert_eq!(baseline, svg_corpus(&folds_at(jobs, WINDOW)), "jobs {jobs}");
+    }
+}
+
+#[test]
+fn timeline_json_is_byte_identical_and_roundtrips() {
+    let baseline = timelinedoc::render_timeline_json("small", &folds_at(1, WINDOW));
+    for jobs in WORKER_COUNTS {
+        let fresh = timelinedoc::render_timeline_json("small", &folds_at(jobs, WINDOW));
+        assert_eq!(baseline, fresh, "jobs {jobs}");
+    }
+    let doc = timelinedoc::parse_timeline_doc(&baseline).unwrap();
+    assert_eq!(doc.window, WINDOW);
+    assert_eq!(doc.cells.len(), 18);
+    // A self-diff of the parsed artifact is windowed-identical.
+    let diff = triarch_profile::WindowDiff::compute(&doc, &doc);
+    assert!(diff.is_empty());
+    assert_eq!(diff.matched, 18);
+}
+
+#[test]
+fn default_window_matches_the_documented_value() {
+    assert_eq!(DEFAULT_WINDOW, 1024);
+    let folds = folds_at(1, DEFAULT_WINDOW);
+    for cell in &folds {
+        assert_eq!(cell.timeline.window(), DEFAULT_WINDOW);
+        assert_eq!(cell.timeline_drift(), 0, "{}", cell.label());
+    }
+}
